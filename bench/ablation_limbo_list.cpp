@@ -1,0 +1,85 @@
+// Ablation: wait-free limbo list (one exchange to push, one to pop the
+// whole chain -- paper Listing 2) vs a mutex-guarded vector.
+//
+// Claim probed: the exchange-based design makes deferring an object for
+// deletion wait-free and cheap under contention.
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pgasnb;
+  using namespace pgasnb::bench;
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const std::uint64_t pushes_per_thread = opts.scaled(1 << 17);
+
+  struct MutexLimbo {
+    std::mutex lock;
+    std::vector<std::pair<void*, ObjectDeleter>> items;
+    void push(void* obj, ObjectDeleter deleter) {
+      std::lock_guard<std::mutex> guard(lock);
+      items.emplace_back(obj, deleter);
+    }
+    std::size_t drain() {
+      std::lock_guard<std::mutex> guard(lock);
+      const std::size_t n = items.size();
+      items.clear();
+      return n;
+    }
+  };
+
+  struct HeapAlloc {
+    static LimboNode* alloc() { return new LimboNode; }
+    static void free(LimboNode* n) { delete n; }
+  };
+
+  FigureTable table("ablation-limbo-list");
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    {  // wait-free limbo list + node pool
+      LimboList list;
+      LimboNodePool<HeapAlloc> pool;
+      const auto m = timed([&] {
+        std::vector<std::thread> ts;
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          ts.emplace_back([&] {
+            int dummy = 0;
+            for (std::uint64_t i = 0; i < pushes_per_thread; ++i) {
+              list.push(pool.acquire(&dummy, nullptr));
+            }
+          });
+        }
+        for (auto& th : ts) th.join();
+        // Single deletion phase: one exchange takes the whole chain.
+        for (LimboNode* n = list.popAll(); n != nullptr;) {
+          LimboNode* next = LimboList::next(n);
+          pool.release(n);
+          n = next;
+        }
+      });
+      table.addRow("wait-free exchange", threads, m);
+    }
+    {  // mutex-guarded vector
+      MutexLimbo limbo;
+      const auto m = timed([&] {
+        std::vector<std::thread> ts;
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          ts.emplace_back([&] {
+            int dummy = 0;
+            for (std::uint64_t i = 0; i < pushes_per_thread; ++i) {
+              limbo.push(&dummy, nullptr);
+            }
+          });
+        }
+        for (auto& th : ts) th.join();
+        (void)limbo.drain();
+      });
+      table.addRow("mutex vector", threads, m);
+    }
+  }
+  table.print();
+  std::printf("expected shape: the exchange-based list wins under "
+              "contention and degrades more gracefully.\n");
+  return 0;
+}

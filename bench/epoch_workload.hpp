@@ -1,0 +1,98 @@
+// The EpochManager microbenchmark of paper Listing 5, shared by the
+// Figure 4/5/6 benches:
+//
+//   forall obj in objs (cyclically distributed, locales randomized by a
+//   remote-object percentage) with task-private tokens:
+//     pin; deferDelete(obj); unpin;
+//     every `reclaim_every` iterations: tryReclaim
+//   finally: manager.clear()
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace pgasnb::bench {
+
+struct EpochWorkload {
+  std::uint64_t objs_per_locale = 1024;
+  /// tryReclaim cadence: 0 = never (reclamation only via the final clear).
+  std::uint64_t reclaim_every = 0;
+  /// Percentage of objects allocated on a random *other* locale.
+  int remote_pct = 0;
+  std::uint32_t tasks_per_locale = 2;
+};
+
+struct BenchObject {
+  std::uint64_t payload[2] = {0xAB, 0xCD};
+};
+
+/// Runs one (locales, mode) cell of a Figure 4/5/6 sweep and returns the
+/// measured deletion time (Listing 5's loop plus the final clear).
+inline Measurement runEpochWorkload(std::uint32_t locales, CommMode mode,
+                                    const EpochWorkload& wl) {
+  Runtime rt(benchConfig(locales, mode, wl.tasks_per_locale));
+  EpochManager manager = EpochManager::create();
+
+  const std::uint64_t num_objects = wl.objs_per_locale * locales;
+  CyclicArray<BenchObject*> objs(num_objects);
+
+  // randomizeObjs: allocate each object either on its index's locale or,
+  // with probability remote_pct, on a uniformly random other locale.
+  {
+    Xoshiro256 rng(12345);
+    const double p_remote = wl.remote_pct / 100.0;
+    for (std::uint64_t i = 0; i < num_objects; ++i) {
+      const std::uint32_t home = objs.domain().localeOf(i);
+      std::uint32_t target = home;
+      if (locales > 1 && rng.nextBool(p_remote)) {
+        target = static_cast<std::uint32_t>(rng.nextBelow(locales - 1));
+        if (target >= home) ++target;
+      }
+      objs[i] = gnewOn<BenchObject>(target);
+    }
+  }
+
+  const std::uint64_t reclaim_every = wl.reclaim_every;
+  const Measurement m = timed([&] {
+    objs.forallTasks(
+        wl.tasks_per_locale,
+        [manager] {
+          return std::pair<EpochToken, std::uint64_t>(manager.registerTask(),
+                                                      0);
+        },
+        [reclaim_every](auto& state, std::uint64_t, BenchObject*& obj) {
+          auto& [tok, count] = state;
+          tok.pin();
+          tok.deferDelete(obj);
+          obj = nullptr;
+          tok.unpin();
+          if (reclaim_every != 0 && ++count % reclaim_every == 0) {
+            tok.tryReclaim();
+          }
+        });
+    manager.clear();  // Reclaim all remaining objects at the end.
+  });
+
+  const auto stats = manager.stats();
+  PGASNB_CHECK_MSG(stats.reclaimed == num_objects,
+                   "benchmark invariant: every object reclaimed");
+  manager.destroy();
+  return m;
+}
+
+/// Prints one full figure: locales sweep x {none, ugni} for a fixed
+/// remote-object percentage panel.
+inline void runEpochFigure(FigureTable& table, const BenchOptions& opts,
+                           const EpochWorkload& base) {
+  for (const CommMode mode : {CommMode::none, CommMode::ugni}) {
+    for (std::uint32_t locales : opts.localeSweep(2)) {
+      EpochWorkload wl = base;
+      wl.tasks_per_locale = opts.tasks_per_locale;
+      const Measurement m = runEpochWorkload(locales, mode, wl);
+      table.addRow(std::string(toString(mode)) + " / " +
+                       std::to_string(base.remote_pct) + "% remote",
+                   locales, m);
+    }
+  }
+}
+
+}  // namespace pgasnb::bench

@@ -1,0 +1,26 @@
+// Figure 5: Pin-Unpin with *dense* tryReclaim -- tryReclaim invoked every
+// iteration, across 0% / 50% / 100% remote-object panels.
+//
+// Expected shape (paper): roughly an order of magnitude above Figure 4
+// (every iteration pays at least the local election flag; winners pay the
+// full scan/advance), but still scaling with locales thanks to the
+// first-come-first-serve election stemming redundant global traffic.
+#include "epoch_workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pgasnb::bench;
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+
+  FigureTable table("fig5-dense-tryReclaim");
+  for (const int remote_pct : {0, 50, 100}) {
+    EpochWorkload wl;
+    wl.objs_per_locale = opts.scaled(512);
+    wl.reclaim_every = 1;  // every iteration
+    wl.remote_pct = remote_pct;
+    runEpochFigure(table, opts, wl);
+  }
+  table.print();
+  std::printf("expected shape: higher than fig4 by a rough constant; "
+              "election losers return fast, so scaling survives.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 7: read-only workload -- pin/unpin with no deletion, the pattern
+// of lookup-dominated data structures.
+//
+// Expected shape (paper): "performance is essentially stable across
+// multiple locales": every pin/unpin touches only the privatized local
+// instance, so the model-time line is flat in locales and identical
+// between comm modes.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pgasnb;
+  using namespace pgasnb::bench;
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  const std::uint64_t iters_per_task = opts.scaled(1 << 16);
+
+  FigureTable table("fig7-readonly-pin");
+  for (const CommMode mode : {CommMode::none, CommMode::ugni}) {
+    for (std::uint32_t locales : opts.localeSweep(2)) {
+      Runtime rt(benchConfig(locales, mode, opts.tasks_per_locale));
+      EpochManager manager = EpochManager::create();
+      const std::uint32_t tasks = opts.tasks_per_locale;
+      const auto m = timed([&] {
+        coforallLocales([manager, tasks, iters_per_task] {
+          coforallHere(tasks, [&](std::uint32_t) {
+            EpochToken tok = manager.registerTask();
+            for (std::uint64_t i = 0; i < iters_per_task; ++i) {
+              tok.pin();
+              tok.unpin();
+            }
+          });
+        });
+      });
+      table.addRow(toString(mode), locales, m);
+      manager.destroy();
+    }
+  }
+  table.print();
+  std::printf("expected shape: flat across locales and identical between "
+              "modes (zero communication on the pin/unpin fast path).\n");
+  return 0;
+}

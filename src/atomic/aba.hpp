@@ -1,0 +1,42 @@
+// ABA<T>: a (pointer, generation-count) pair read out of an ABA-protected
+// atomic (paper Sec. II.A).
+//
+// Chapel's `forwarding` decorator lets the wrapper be used as if it were
+// the wrapped instance; operator-> plays that role here, so
+// `head.readABA()->next` reads the node's field directly.
+#pragma once
+
+#include <cstdint>
+
+namespace pgasnb {
+
+template <typename T>
+class ABA {
+ public:
+  constexpr ABA() = default;
+  constexpr ABA(T* object, std::uint64_t count)
+      : object_(object), count_(count) {}
+
+  T* getObject() const noexcept { return object_; }
+  std::uint64_t getABACount() const noexcept { return count_; }
+
+  bool isNil() const noexcept { return object_ == nullptr; }
+  explicit operator bool() const noexcept { return object_ != nullptr; }
+
+  // Chapel-style forwarding to the wrapped instance.
+  T* operator->() const noexcept { return object_; }
+  T& operator*() const noexcept { return *object_; }
+
+  friend bool operator==(const ABA& a, const ABA& b) noexcept {
+    return a.object_ == b.object_ && a.count_ == b.count_;
+  }
+  friend bool operator!=(const ABA& a, const ABA& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  T* object_ = nullptr;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace pgasnb

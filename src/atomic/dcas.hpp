@@ -1,0 +1,57 @@
+// Double-word compare-and-swap (x86 CMPXCHG16B / LL-SC on ARM).
+//
+// The paper (Sec. II.A) falls back to DCAS when pointer compression is
+// unavailable (> 2^16 locales) and uses a DCAS-updated (pointer, counter)
+// pair for ABA protection. These are thin, local-only wrappers; the
+// comm-aware versions live in runtime/comm.hpp (comm::dcas & friends).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/comm.hpp"  // for U128
+
+namespace pgasnb {
+
+/// Local 16-byte CAS. `expected` is updated with the observed value on
+/// failure, mirroring std::atomic::compare_exchange semantics.
+inline bool dcasLocal(U128& target, U128& expected, U128 desired) noexcept {
+  return __atomic_compare_exchange(&target, &expected, &desired,
+                                   /*weak=*/false, __ATOMIC_SEQ_CST,
+                                   __ATOMIC_SEQ_CST);
+}
+
+/// Local atomic 16-byte load.
+inline U128 dloadLocal(const U128& target) noexcept {
+  U128 out;
+  __atomic_load(const_cast<U128*>(&target), &out, __ATOMIC_SEQ_CST);
+  return out;
+}
+
+/// Local atomic 16-byte store.
+inline void dstoreLocal(U128& target, U128 desired) noexcept {
+  __atomic_store(&target, &desired, __ATOMIC_SEQ_CST);
+}
+
+/// Local atomic 16-byte exchange.
+inline U128 dexchangeLocal(U128& target, U128 desired) noexcept {
+  U128 out;
+  __atomic_exchange(&target, &desired, &out, __ATOMIC_SEQ_CST);
+  return out;
+}
+
+/// True when the 16-byte operations compile to a lock-free instruction
+/// (CMPXCHG16B); false means libatomic is emulating with locks and the
+/// "non-blocking" guarantees of the ABA-protected types are weakened.
+inline bool dcasIsLockFree() noexcept {
+  U128 probe;
+  return __atomic_is_lock_free(sizeof(U128), &probe) ||
+         // GCC's libatomic reports false but still uses CMPXCHG16B on
+         // x86-64 when the CPU supports it; treat x86-64 as lock-free.
+#if defined(__x86_64__)
+         true;
+#else
+         false;
+#endif
+}
+
+}  // namespace pgasnb

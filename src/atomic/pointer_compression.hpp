@@ -1,0 +1,65 @@
+// Pointer compression: {16-bit locale, 48-bit virtual address} in one
+// 64-bit word (paper Sec. II.A).
+//
+// Current x86-64 (and AArch64 without LVA) user-space virtual addresses fit
+// in the low 48 bits, so the top 16 bits can carry the locale id. A 64-bit
+// compressed wide pointer is exactly what RDMA NICs can operate on
+// atomically -- this is the trick that lets AtomicObject use network
+// atomics instead of remote execution, and it caps the machine at 2^16
+// locales (the paper's stated limit).
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace pgasnb {
+
+inline constexpr int kVaBits = 48;
+inline constexpr std::uint64_t kVaMask = (std::uint64_t{1} << kVaBits) - 1;
+inline constexpr std::uint32_t kMaxCompressedLocales = 1u << 16;
+
+/// True if `addr` can be represented in 48 bits (all user-space pointers on
+/// current hardware; checked rather than assumed).
+inline bool compressibleAddress(const void* addr) noexcept {
+  return (reinterpret_cast<std::uint64_t>(addr) & ~kVaMask) == 0;
+}
+
+/// Pack (locale, address) into one 64-bit word. nullptr compresses to 0
+/// regardless of locale so nil tests stay single-word.
+inline std::uint64_t compressPointer(std::uint32_t locale,
+                                     const void* addr) {
+  if (addr == nullptr) return 0;
+  const auto bits = reinterpret_cast<std::uint64_t>(addr);
+  PGASNB_CHECK_MSG((bits & ~kVaMask) == 0,
+                   "address does not fit in 48 bits; pointer compression "
+                   "requires canonical user-space addresses");
+  PGASNB_CHECK_MSG(locale < kMaxCompressedLocales,
+                   "locale id does not fit in 16 bits");
+  return bits | (static_cast<std::uint64_t>(locale) << kVaBits);
+}
+
+struct DecompressedPointer {
+  std::uint32_t locale = 0;
+  void* addr = nullptr;
+};
+
+/// Unpack a compressed wide pointer.
+inline DecompressedPointer decompressPointer(std::uint64_t word) noexcept {
+  DecompressedPointer out;
+  if (word == 0) return out;
+  out.locale = static_cast<std::uint32_t>(word >> kVaBits);
+  out.addr = reinterpret_cast<void*>(word & kVaMask);
+  return out;
+}
+
+template <typename T>
+T* decompressAddr(std::uint64_t word) noexcept {
+  return static_cast<T*>(decompressPointer(word).addr);
+}
+
+inline std::uint32_t decompressLocale(std::uint64_t word) noexcept {
+  return static_cast<std::uint32_t>(word >> kVaBits);
+}
+
+}  // namespace pgasnb

@@ -1,0 +1,103 @@
+// DistStack: a global-view distributed Treiber stack.
+//
+// The paper's Listing 1 written against the *distributed* building blocks:
+// the head is an ABA-protected AtomicObject (compressed wide pointer +
+// generation count), nodes are allocated on the pushing task's locale, and
+// popped nodes are reclaimed through the distributed EpochManager -- whose
+// scatter lists ship each node back to its owning locale for deallocation.
+//
+// Any locale may push/pop concurrently; this is the canonical "truly
+// scalable algorithm" the two constructs exist to enable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+
+#include "atomic/atomic_object.hpp"
+#include "epoch/epoch_manager.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/runtime.hpp"
+
+namespace pgasnb {
+
+template <typename T>
+class DistStack {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "DistStack elements move across locales by RDMA GET; they "
+                "must be trivially copyable");
+
+ public:
+  struct Node {
+    T value{};
+    Node* next = nullptr;
+  };
+
+  /// Allocate the stack on `home` (its head word lives there; remote CAS
+  /// cost follows that placement).
+  static DistStack* create(EpochManager manager, std::uint32_t home = 0) {
+    return gnewOn<DistStack>(home, manager);
+  }
+
+  /// Quiescent teardown: drains remaining nodes through the epoch manager
+  /// and frees the stack shell. Caller guarantees no concurrent users.
+  static void destroy(DistStack* stack) {
+    {
+      EpochToken token = stack->manager_.registerTask();
+      token.pin();
+      while (stack->pop(token).has_value()) {
+      }
+      token.unpin();
+    }
+    stack->manager_.clear();
+    const std::uint32_t home = Runtime::get().localeOfAddress(stack);
+    onLocale(home, [stack] { gdelete(stack); });
+  }
+
+  explicit DistStack(EpochManager manager) : manager_(manager) {}
+  DistStack(const DistStack&) = delete;
+  DistStack& operator=(const DistStack&) = delete;
+
+  EpochManager manager() const noexcept { return manager_; }
+
+  /// Paper Listing 1. The node is allocated on the *calling* locale, so a
+  /// distributed workload naturally interleaves owners -- which is what
+  /// the EpochManager's scatter lists are for.
+  void push(EpochToken& token, T value) {
+    PGASNB_CHECK_MSG(token.pinned(), "DistStack::push requires a pinned token");
+    Node* node = gnew<Node>();
+    node->value = value;
+    while (true) {
+      ABA<Node> old_head = head_.readABA();
+      node->next = old_head.getObject();
+      if (head_.compareAndSwapABA(old_head, node)) return;
+    }
+  }
+
+  std::optional<T> pop(EpochToken& token) {
+    PGASNB_CHECK_MSG(token.pinned(), "DistStack::pop requires a pinned token");
+    Runtime& rt = Runtime::get();
+    while (true) {
+      ABA<Node> old_head = head_.readABA();
+      Node* node = old_head.getObject();
+      if (node == nullptr) return std::nullopt;
+      // The head node may live on any locale: fetch a snapshot with an
+      // RDMA GET. The epoch pin guarantees the node is not reclaimed
+      // underneath us; the ABA count rejects a stale head at the CAS.
+      Node snapshot;
+      comm::get(&snapshot, rt.localeOfAddress(node), node, sizeof(Node));
+      if (head_.compareAndSwapABA(old_head, snapshot.next)) {
+        token.deferDelete(node);
+        return snapshot.value;
+      }
+    }
+  }
+
+  bool emptyApprox() const { return head_.read() == nullptr; }
+
+ private:
+  AtomicObject<Node, /*WithAba=*/true> head_;
+  EpochManager manager_;
+};
+
+}  // namespace pgasnb

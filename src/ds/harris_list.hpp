@@ -1,0 +1,179 @@
+// Harris's lock-free ordered linked list (sorted set/map), EBR-protected.
+//
+// Logical deletion = setting the mark bit in a node's next pointer;
+// physical unlinking happens in `search`, and unlinked nodes are handed to
+// the epoch manager -- the textbook pairing of a non-blocking structure
+// with epoch-based reclamation, and the shape of each InterlockedHashTable
+// bucket.
+//
+// The list is policy-parameterized so the same algorithm runs in plain
+// shared memory (HeapNodePolicy + LocalEpochToken) and inside the PGAS
+// runtime on arena nodes (the hash table supplies an arena policy with the
+// distributed EpochToken).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "epoch/local_epoch_manager.hpp"
+#include "util/check.hpp"
+
+namespace pgasnb {
+
+struct HeapNodePolicy {
+  using Token = LocalEpochToken;
+  template <typename N, typename... Args>
+  static N* make(Args&&... args) {
+    return new N(std::forward<Args>(args)...);
+  }
+  template <typename N>
+  static void destroy(N* n) {
+    delete n;
+  }
+};
+
+template <typename K, typename V, typename Policy = HeapNodePolicy>
+class HarrisList {
+ public:
+  using Token = typename Policy::Token;
+
+  struct Node {
+    K key{};
+    V value{};
+    std::atomic<std::uintptr_t> next{0};
+
+    Node() = default;
+    Node(K k, V v) : key(std::move(k)), value(std::move(v)) {}
+  };
+
+  HarrisList() { head_ = Policy::template make<Node>(); }
+
+  HarrisList(const HarrisList&) = delete;
+  HarrisList& operator=(const HarrisList&) = delete;
+
+  /// Quiescent teardown: frees all nodes (marked or not) directly.
+  ~HarrisList() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = ptrOf(node->next.load(std::memory_order_relaxed));
+      Policy::template destroy<Node>(node);
+      node = next;
+    }
+  }
+
+  /// Insert (k, v); fails if k is already present. Token must be pinned.
+  bool insert(Token& token, const K& key, V value) {
+    PGASNB_CHECK_MSG(token.pinned(), "HarrisList ops require a pinned token");
+    while (true) {
+      Node* pred = nullptr;
+      Node* curr = nullptr;
+      search(token, key, pred, curr);
+      if (curr != nullptr && curr->key == key) return false;
+      Node* node = Policy::template make<Node>(key, std::move(value));
+      node->next.store(toWord(curr, false), std::memory_order_relaxed);
+      std::uintptr_t expected = toWord(curr, false);
+      if (pred->next.compare_exchange_strong(expected, toWord(node, false),
+                                             std::memory_order_seq_cst)) {
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // Lost the race; reclaim the speculative node immediately (it was
+      // never published) and retry.
+      value = std::move(node->value);
+      Policy::template destroy<Node>(node);
+    }
+  }
+
+  /// Remove k; returns its value if present. Token must be pinned.
+  std::optional<V> remove(Token& token, const K& key) {
+    PGASNB_CHECK_MSG(token.pinned(), "HarrisList ops require a pinned token");
+    while (true) {
+      Node* pred = nullptr;
+      Node* curr = nullptr;
+      search(token, key, pred, curr);
+      if (curr == nullptr || !(curr->key == key)) return std::nullopt;
+      const std::uintptr_t succ = curr->next.load(std::memory_order_acquire);
+      if (isMarked(succ)) continue;  // someone else is deleting it; re-run
+      // Logical removal: set the mark bit.
+      std::uintptr_t expected = succ;
+      if (!curr->next.compare_exchange_strong(expected, succ | 1,
+                                              std::memory_order_seq_cst)) {
+        continue;
+      }
+      std::optional<V> out(curr->value);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      // Physical removal: unlink; on failure a later search will do it.
+      std::uintptr_t pexpected = toWord(curr, false);
+      if (pred->next.compare_exchange_strong(pexpected, succ,
+                                             std::memory_order_seq_cst)) {
+        token.deferDelete(curr);
+      }
+      return out;
+    }
+  }
+
+  /// Lookup; wait-free traversal (skips marked nodes, unlinks nothing).
+  std::optional<V> find(Token& token, const K& key) const {
+    PGASNB_CHECK_MSG(token.pinned(), "HarrisList ops require a pinned token");
+    Node* curr = ptrOf(head_->next.load(std::memory_order_acquire));
+    while (curr != nullptr && curr->key < key) {
+      curr = ptrOf(curr->next.load(std::memory_order_acquire));
+    }
+    if (curr == nullptr || !(curr->key == key)) return std::nullopt;
+    if (isMarked(curr->next.load(std::memory_order_acquire))) {
+      return std::nullopt;  // logically deleted
+    }
+    return curr->value;
+  }
+
+  bool contains(Token& token, const K& key) const {
+    return find(token, key).has_value();
+  }
+
+  std::uint64_t sizeApprox() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static Node* ptrOf(std::uintptr_t word) noexcept {
+    return reinterpret_cast<Node*>(word & ~std::uintptr_t{1});
+  }
+  static bool isMarked(std::uintptr_t word) noexcept { return (word & 1) != 0; }
+  static std::uintptr_t toWord(Node* node, bool marked) noexcept {
+    return reinterpret_cast<std::uintptr_t>(node) |
+           static_cast<std::uintptr_t>(marked);
+  }
+
+  /// Harris search: positions (pred, curr) around `key`, physically
+  /// unlinking any marked run it walks over and deferring those nodes.
+  void search(Token& token, const K& key, Node*& pred, Node*& curr) const {
+  retry:
+    pred = head_;
+    std::uintptr_t pnext = pred->next.load(std::memory_order_acquire);
+    curr = ptrOf(pnext);
+    while (curr != nullptr) {
+      const std::uintptr_t cnext = curr->next.load(std::memory_order_acquire);
+      if (isMarked(cnext)) {
+        // curr is logically deleted: unlink it from pred.
+        std::uintptr_t expected = toWord(curr, false);
+        if (!pred->next.compare_exchange_strong(expected, toWord(ptrOf(cnext), false),
+                                                std::memory_order_seq_cst)) {
+          goto retry;  // pred changed or became marked; restart
+        }
+        token.deferDelete(curr);
+        curr = ptrOf(cnext);
+        continue;
+      }
+      if (!(curr->key < key)) break;
+      pred = curr;
+      curr = ptrOf(cnext);
+    }
+  }
+
+  Node* head_;  // sentinel (key unused)
+  std::atomic<std::uint64_t> size_{0};
+};
+
+}  // namespace pgasnb

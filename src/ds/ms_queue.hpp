@@ -1,0 +1,102 @@
+// Michael-Scott lock-free FIFO queue with EBR reclamation.
+//
+// One of the "most primitive of non-blocking data structures" the paper's
+// introduction motivates (queues, stacks, linked lists). Retired dummy
+// nodes go through the LocalEpochManager, which is what makes the
+// optimistic `head->next` read safe without hazard pointers.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "atomic/local_atomic_object.hpp"
+#include "epoch/local_epoch_manager.hpp"
+#include "util/check.hpp"
+
+namespace pgasnb {
+
+template <typename T>
+class MsQueue {
+  struct Node {
+    T value{};
+    std::atomic<Node*> next{nullptr};
+  };
+
+ public:
+  explicit MsQueue(LocalEpochManager& manager) : manager_(manager) {
+    Node* dummy = new Node;
+    head_.write(dummy);
+    tail_.write(dummy);
+  }
+
+  MsQueue(const MsQueue&) = delete;
+  MsQueue& operator=(const MsQueue&) = delete;
+
+  ~MsQueue() {
+    Node* node = head_.read();
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  LocalEpochManager& manager() noexcept { return manager_; }
+
+  void enqueue(LocalEpochToken& token, T value) {
+    PGASNB_CHECK_MSG(token.pinned(), "MsQueue::enqueue requires a pinned token");
+    Node* node = new Node;
+    node->value = std::move(value);
+    while (true) {
+      Node* tail = tail_.read();
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (tail != tail_.read()) continue;  // tail moved under us
+      if (next != nullptr) {
+        // Tail is lagging; help swing it forward.
+        tail_.compareAndSwap(tail, next);
+        continue;
+      }
+      Node* expected = nullptr;
+      if (tail->next.compare_exchange_strong(expected, node,
+                                             std::memory_order_seq_cst)) {
+        tail_.compareAndSwap(tail, node);
+        return;
+      }
+    }
+  }
+
+  std::optional<T> dequeue(LocalEpochToken& token) {
+    PGASNB_CHECK_MSG(token.pinned(), "MsQueue::dequeue requires a pinned token");
+    while (true) {
+      Node* head = head_.read();
+      Node* tail = tail_.read();
+      Node* next = head->next.load(std::memory_order_acquire);
+      if (head != head_.read()) continue;
+      if (next == nullptr) return std::nullopt;  // empty (head == tail)
+      if (head == tail) {
+        // Tail lagging behind a half-finished enqueue; help.
+        tail_.compareAndSwap(tail, next);
+        continue;
+      }
+      if (head_.compareAndSwap(head, next)) {
+        // `next` is the new dummy; its value slot is ours alone now.
+        std::optional<T> out(std::move(next->value));
+        token.deferDelete(head);
+        return out;
+      }
+    }
+  }
+
+  bool emptyApprox() const {
+    Node* head = head_.read();
+    return head->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  LocalAtomicObject<Node> head_;
+  LocalAtomicObject<Node> tail_;
+  LocalEpochManager& manager_;
+};
+
+}  // namespace pgasnb

@@ -1,0 +1,171 @@
+// Lock-free stacks (paper Listing 1).
+//
+// Two shared-memory variants, both runtime-free:
+//  * LockFreeStack<T>  - Treiber stack with ABA-protected head and node
+//    recycling through an ABA-protected free list; nodes are type-stable
+//    (never returned to the allocator until destruction). This is the shape
+//    the paper's Listing 1 sketches, and the node-recycling strategy its
+//    limbo lists use.
+//  * EbrStack<T>       - Treiber stack whose popped nodes are reclaimed
+//    through a LocalEpochManager instead of a free list: the canonical
+//    "EBR solves the chicken-and-egg ABA problem" construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "atomic/local_atomic_object.hpp"
+#include "epoch/local_epoch_manager.hpp"
+
+namespace pgasnb {
+
+template <typename T>
+class LockFreeStack {
+  struct Node {
+    T value{};
+    Node* next = nullptr;
+  };
+
+ public:
+  LockFreeStack() = default;
+  LockFreeStack(const LockFreeStack&) = delete;
+  LockFreeStack& operator=(const LockFreeStack&) = delete;
+
+  ~LockFreeStack() {
+    deleteChain(head_.read());
+    deleteChain(free_.read());
+  }
+
+  /// Listing 1's push: read head (with count), link, CAS-with-count.
+  void push(T value) {
+    Node* node = acquireNode(std::move(value));
+    while (true) {
+      ABA<Node> head = head_.readABA();
+      node->next = head.getObject();
+      if (head_.compareAndSwapABA(head, node)) break;
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::optional<T> pop() {
+    while (true) {
+      ABA<Node> head = head_.readABA();
+      if (head.isNil()) return std::nullopt;
+      // Nodes are type-stable, so reading next of a concurrently-popped
+      // node is safe; the ABA count makes the CAS reject stale heads.
+      Node* next = head->next;
+      if (head_.compareAndSwapABA(head, next)) {
+        std::optional<T> out(std::move(head->value));
+        releaseNode(head.getObject());
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return out;
+      }
+    }
+  }
+
+  bool empty() const noexcept { return head_.read() == nullptr; }
+  std::uint64_t sizeApprox() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Node* acquireNode(T&& value) {
+    while (true) {
+      ABA<Node> head = free_.readABA();
+      if (head.isNil()) {
+        Node* fresh = new Node;
+        fresh->value = std::move(value);
+        return fresh;
+      }
+      Node* next = head->next;
+      if (free_.compareAndSwapABA(head, next)) {
+        Node* node = head.getObject();
+        node->value = std::move(value);
+        return node;
+      }
+    }
+  }
+
+  void releaseNode(Node* node) {
+    while (true) {
+      ABA<Node> head = free_.readABA();
+      node->next = head.getObject();
+      if (free_.compareAndSwapABA(head, node)) return;
+    }
+  }
+
+  void deleteChain(Node* node) {
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
+  LocalAtomicObject<Node, /*WithAba=*/true> head_;
+  LocalAtomicObject<Node, /*WithAba=*/true> free_;
+  std::atomic<std::uint64_t> size_{0};
+};
+
+/// Treiber stack with EBR reclamation: pop defers the node to the epoch
+/// manager instead of recycling it, so no ABA counter is needed on the
+/// traversal (the epoch pin guarantees the head node cannot be freed while
+/// we hold it) -- though the head keeps one for the push race.
+template <typename T>
+class EbrStack {
+  struct Node {
+    T value{};
+    Node* next = nullptr;
+  };
+
+ public:
+  explicit EbrStack(LocalEpochManager& manager) : manager_(manager) {}
+  EbrStack(const EbrStack&) = delete;
+  EbrStack& operator=(const EbrStack&) = delete;
+
+  ~EbrStack() {
+    Node* node = head_.read();
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
+  LocalEpochManager& manager() noexcept { return manager_; }
+
+  /// Caller holds a pinned token from manager().
+  void push(LocalEpochToken& token, T value) {
+    PGASNB_CHECK_MSG(token.pinned(), "EbrStack::push requires a pinned token");
+    Node* node = new Node{std::move(value), nullptr};
+    while (true) {
+      Node* head = head_.read();
+      node->next = head;
+      if (head_.compareAndSwap(head, node)) return;
+    }
+  }
+
+  std::optional<T> pop(LocalEpochToken& token) {
+    PGASNB_CHECK_MSG(token.pinned(), "EbrStack::pop requires a pinned token");
+    while (true) {
+      Node* head = head_.read();
+      if (head == nullptr) return std::nullopt;
+      Node* next = head->next;  // safe: epoch pin defers frees
+      if (head_.compareAndSwap(head, next)) {
+        std::optional<T> out(std::move(head->value));
+        token.deferDelete(head);
+        return out;
+      }
+    }
+  }
+
+  bool empty() const noexcept { return head_.read() == nullptr; }
+
+ private:
+  LocalAtomicObject<Node> head_;
+  LocalEpochManager& manager_;
+};
+
+}  // namespace pgasnb

@@ -1,0 +1,247 @@
+#include "epoch/epoch_manager.hpp"
+
+#include "runtime/task.hpp"
+
+namespace pgasnb {
+
+// ---------------------------------------------------------------------------
+// EpochManagerImpl
+// ---------------------------------------------------------------------------
+
+EpochManagerImpl::~EpochManagerImpl() {
+  // Any nodes still sitting in limbo lists belong to this pool; return them
+  // so the pool can hand them back to the arena. Their payload objects were
+  // reclaimed by destroy()'s clear(); if the user skipped destroy() the
+  // objects leak (exactly like forgetting `delete` on an unmanaged class).
+  for (auto& list : limbo_) {
+    LimboNode* node = list.popAll();
+    while (node != nullptr) {
+      LimboNode* next = LimboList::next(node);
+      node_pool_.destroyNode(node);
+      node = next;
+    }
+  }
+}
+
+void EpochManagerImpl::unregisterToken(Token* token) {
+  unpin(token);
+  tokens_.release(token);
+}
+
+void EpochManagerImpl::pin(Token* token) {
+  if (token->pinned()) return;
+  const LatencyModel& lat = Runtime::get().config().latency;
+  // Read the locale-private epoch cache (the paper's zero-communication
+  // fast path), publish it, then re-validate: if an advance raced between
+  // the read and the publish, chase it. The scan runs on this locale, so
+  // seq_cst here orders the publish against the scanner's read.
+  std::uint64_t e = locale_epoch_.load(std::memory_order_seq_cst);
+  token->local_epoch.store(e, std::memory_order_seq_cst);
+  sim::charge(lat.cpu_atomic_ns * 2);
+  std::uint64_t current;
+  while ((current = locale_epoch_.load(std::memory_order_seq_cst)) != e) {
+    e = current;
+    token->local_epoch.store(e, std::memory_order_seq_cst);
+    sim::charge(lat.cpu_atomic_ns * 2);
+  }
+}
+
+void EpochManagerImpl::unpin(Token* token) noexcept {
+  token->local_epoch.store(kEpochQuiescent, std::memory_order_seq_cst);
+  if (Runtime::active()) {
+    sim::chargeModelOnly(Runtime::get().config().latency.cpu_atomic_ns);
+  }
+}
+
+void EpochManagerImpl::deferDelete(Token* token, void* obj,
+                                   ObjectDeleter deleter) {
+  const std::uint64_t e = token->local_epoch.load(std::memory_order_seq_cst);
+  PGASNB_CHECK_MSG(e != kEpochQuiescent,
+                   "deferDelete requires a pinned token");
+  LimboNode* node = node_pool_.acquire(obj, deleter);
+  limbo_[limboIndexFor(e)].push(node);
+  deferred_.fetch_add(1, std::memory_order_relaxed);
+  // recycle-pop + exchange + link, all locale-local processor atomics
+  sim::charge(Runtime::get().config().latency.cpu_atomic_ns * 3);
+}
+
+void EpochManagerImpl::scatterLimboList(std::uint32_t index) {
+  Runtime& rt = Runtime::get();
+  LimboNode* node = limbo_[index].popAll();
+  sim::charge(rt.config().latency.cpu_atomic_ns);  // the popAll exchange
+  std::uint64_t count = 0;
+  while (node != nullptr) {
+    LimboNode* next = LimboList::next(node);
+    const std::uint32_t owner = rt.localeOfAddress(node->obj);
+    objs_to_delete_[owner].push_back(ScatterEntry{node->obj, node->deleter});
+    node_pool_.release(node);
+    node = next;
+    ++count;
+  }
+  reclaimed_.fetch_add(count, std::memory_order_relaxed);
+}
+
+void EpochManagerImpl::deleteBucketFor(std::uint32_t dest) {
+  PGASNB_DCHECK(dest == Runtime::here());
+  auto& bucket = objs_to_delete_[dest];
+  for (const ScatterEntry& entry : bucket) {
+    entry.deleter(entry.obj);
+  }
+}
+
+EpochManagerStats EpochManagerImpl::statsSnapshot() const {
+  EpochManagerStats s;
+  s.deferred = deferred_.load(std::memory_order_relaxed);
+  s.reclaimed = reclaimed_.load(std::memory_order_relaxed);
+  s.advances = advances_.load(std::memory_order_relaxed);
+  s.elections_lost_local =
+      elections_lost_local_.load(std::memory_order_relaxed);
+  s.elections_lost_global =
+      elections_lost_global_.load(std::memory_order_relaxed);
+  s.scans_unsafe = scans_unsafe_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Reclamation driver (paper Listing 4)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+namespace {
+
+/// The scatter + bulk-delete body shared by tryReclaim and clear: runs on
+/// one locale, pops the given limbo lists, sorts objects by owner, then a
+/// nested coforall deletes each bucket on its owning locale ("Bulk transfer
+/// and delete" in Listing 4).
+void reclaimOnThisLocale(Privatized<EpochManagerImpl> handle,
+                         std::uint32_t first_index,
+                         std::uint32_t index_count) {
+  EpochManagerImpl& inst = handle.local();
+  for (std::uint32_t k = 0; k < index_count; ++k) {
+    inst.scatterLimboList((first_index + k) % kNumEpochs);
+  }
+  const std::uint32_t src = Runtime::here();
+  coforallLocales([handle, src] {
+    const LatencyModel& lat = Runtime::get().config().latency;
+    const std::uint32_t dest = Runtime::here();
+    EpochManagerImpl* src_inst = handle.instanceOn(src);
+    auto& bucket = src_inst->objs_to_delete_[dest];
+    if (dest != src && !bucket.empty()) {
+      // One aggregated transfer instead of one RPC per object -- the
+      // scatter list's entire purpose.
+      sim::charge(lat.bulkCost(bucket.size() * sizeof(void*) * 2));
+    }
+    src_inst->deleteBucketFor(dest);
+  });
+  inst.clearScatter();
+}
+
+}  // namespace
+
+bool epochTryReclaim(Privatized<EpochManagerImpl> handle) {
+  EpochManagerImpl& inst = handle.local();
+  const LatencyModel& lat = Runtime::get().config().latency;
+
+  // First-come-first-serve election, local then global; losers back out
+  // immediately so the operation is non-blocking (Listing 4 lines 2-6).
+  sim::charge(lat.cpu_atomic_ns);
+  if (inst.is_setting_epoch_.exchange(1, std::memory_order_seq_cst) != 0) {
+    inst.elections_lost_local_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (inst.global_->is_setting_epoch.testAndSet()) {
+    inst.is_setting_epoch_.store(0, std::memory_order_seq_cst);
+    inst.elections_lost_global_.fetch_add(1, std::memory_order_relaxed);
+    sim::charge(lat.cpu_atomic_ns);
+    return false;
+  }
+
+  // Is it safe to reclaim across all locales? (Listing 4 lines 8-21)
+  const std::uint64_t this_epoch = inst.global_->epoch.read();
+  const bool safe = allLocalesAnd([handle, this_epoch, &lat] {
+    EpochManagerImpl& li = handle.local();
+    for (Token* t = li.tokens_.allocatedHead(); t != nullptr;
+         t = t->next_allocated) {
+      sim::chargeModelOnly(lat.cpu_atomic_ns);
+      const std::uint64_t e = t->local_epoch.load(std::memory_order_seq_cst);
+      if (e != kEpochQuiescent && e != this_epoch) return false;
+    }
+    return true;
+  });
+
+  bool advanced = false;
+  if (safe) {
+    const std::uint64_t new_epoch = nextEpoch(this_epoch);
+    inst.global_->epoch.write(new_epoch);
+    inst.global_->advances.fetch_add(1, std::memory_order_relaxed);
+    inst.advances_.fetch_add(1, std::memory_order_relaxed);
+    coforallLocales([handle, new_epoch] {
+      EpochManagerImpl& li = handle.local();
+      // Update each locale's epoch cache, then reclaim the list that is
+      // now two epochs old (Listing 4 lines 26-54).
+      li.locale_epoch_.store(new_epoch, std::memory_order_seq_cst);
+      reclaimOnThisLocale(handle, reclaimIndexFor(new_epoch), 1);
+    });
+    advanced = true;
+  } else {
+    inst.scans_unsafe_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  inst.global_->is_setting_epoch.clear();
+  inst.is_setting_epoch_.store(0, std::memory_order_seq_cst);
+  sim::charge(lat.cpu_atomic_ns);
+  return advanced;
+}
+
+void epochClearAll(Privatized<EpochManagerImpl> handle) {
+  // Caller guarantees quiescence; reclaim all three lists on every locale.
+  coforallLocales([handle] {
+    reclaimOnThisLocale(handle, 0, kNumEpochs);
+  });
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// EpochManager
+// ---------------------------------------------------------------------------
+
+EpochManager EpochManager::create() {
+  EpochManager manager;
+  manager.global_ = gnewOn<GlobalEpoch>(0);
+  GlobalEpoch* global = manager.global_;
+  const std::uint32_t num_locales = Runtime::get().numLocales();
+  manager.handle_ = Privatized<EpochManagerImpl>::create([global, num_locales] {
+    return gnew<EpochManagerImpl>(global, num_locales);
+  });
+  return manager;
+}
+
+void EpochManager::destroy() {
+  if (!valid()) return;
+  clear();
+  handle_.destroy();
+  if (global_ != nullptr) {
+    GlobalEpoch* global = global_;
+    onLocale(0, [global] { gdelete(global); });
+    global_ = nullptr;
+  }
+}
+
+EpochManagerStats EpochManager::stats() const {
+  EpochManagerStats total;
+  Runtime& rt = Runtime::get();
+  for (std::uint32_t l = 0; l < rt.numLocales(); ++l) {
+    const EpochManagerStats s = implOn(l)->statsSnapshot();
+    total.deferred += s.deferred;
+    total.reclaimed += s.reclaimed;
+    total.advances += s.advances;
+    total.elections_lost_local += s.elections_lost_local;
+    total.elections_lost_global += s.elections_lost_global;
+    total.scans_unsafe += s.scans_unsafe;
+  }
+  return total;
+}
+
+}  // namespace pgasnb

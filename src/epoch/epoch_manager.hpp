@@ -1,0 +1,264 @@
+// EpochManager: distributed, lock-free Epoch-Based Reclamation
+// (paper Sec. II.B-C, Fig. 1-2, Listing 4).
+//
+// Structure
+// ---------
+// * One privatized instance per locale (record-wrapped handle => zero
+//   communication to reach the local instance, even inside distributed
+//   forall loops).
+// * Each instance has three limbo lists -- the epochs e-1, e, e+1 -- a
+//   locale-private epoch cache, a local election flag, a token pool, and a
+//   scatter array used to sort deferred objects by owning locale before
+//   bulk deletion.
+// * A single GlobalEpoch object lives on locale 0 so all locales reach
+//   consensus on one centralized epoch; it is accessed with network
+//   atomics (RDMA in CommMode::ugni).
+//
+// Reclamation protocol (tryReclaim, Listing 4)
+// --------------------------------------------
+// 1. first-come-first-serve election, local flag then global flag; losers
+//    return immediately (non-blocking, keeps the manager lock-free).
+// 2. scan every locale's allocated tokens on that locale; safe iff every
+//    token is quiescent or pinned in the current global epoch.
+// 3. if safe: advance the global epoch, then on every locale update the
+//    epoch cache, pop the limbo list that is now two epochs old in one
+//    exchange, scatter its objects by owner locale, and bulk-delete each
+//    bucket on its owner.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "epoch/limbo_list.hpp"
+#include "epoch/token.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/privatization.hpp"
+#include "runtime/runtime.hpp"
+
+namespace pgasnb {
+
+/// The single, centralized epoch all locales agree on; allocated on locale
+/// 0 and accessed via network atomics (paper: "a class instance wraps the
+/// global epoch itself").
+struct GlobalEpoch {
+  DistAtomicU64 epoch{1};
+  DistAtomicU64 is_setting_epoch{0};
+  std::atomic<std::uint64_t> advances{0};  // diagnostics
+};
+
+struct EpochManagerStats {
+  std::uint64_t deferred = 0;
+  std::uint64_t reclaimed = 0;
+  std::uint64_t advances = 0;
+  std::uint64_t elections_lost_local = 0;
+  std::uint64_t elections_lost_global = 0;
+  std::uint64_t scans_unsafe = 0;
+};
+
+namespace detail {
+
+struct ArenaLimboNodeAlloc {
+  static LimboNode* alloc() { return gnew<LimboNode>(); }
+  static void free(LimboNode* n) { gdelete(n); }
+};
+struct ArenaTokenAlloc {
+  static Token* alloc() { return gnew<Token>(); }
+  static void free(Token* t) { gdelete(t); }
+};
+
+template <typename T>
+void arenaDeleter(void* p) {
+  Runtime::get().deleteLocal(static_cast<T*>(p));
+}
+
+}  // namespace detail
+
+/// Per-locale privatized instance. Users never touch this directly; it is
+/// public only for tests and the benchmark harness.
+class EpochManagerImpl {
+ public:
+  EpochManagerImpl(GlobalEpoch* global, std::uint32_t num_locales)
+      : global_(global), objs_to_delete_(num_locales) {
+    locale_epoch_.store(global->epoch.peek(), std::memory_order_relaxed);
+  }
+
+  ~EpochManagerImpl();
+
+  EpochManagerImpl(const EpochManagerImpl&) = delete;
+  EpochManagerImpl& operator=(const EpochManagerImpl&) = delete;
+
+  // --- token operations (called via EpochToken) -------------------------
+
+  Token* registerToken() { return tokens_.acquire(); }
+  void unregisterToken(Token* token);
+
+  /// Enter the locale's current epoch. Re-validates the epoch cache after
+  /// publishing (hardening of the paper's pin; see DESIGN.md) so a pinned
+  /// token can lag the global epoch by at most one advance.
+  void pin(Token* token);
+  void unpin(Token* token) noexcept;
+
+  /// Defer deletion of `obj` into the limbo list of the token's epoch.
+  /// Wait-free: node recycle + one exchange + one store.
+  void deferDelete(Token* token, void* obj, ObjectDeleter deleter);
+
+  // --- reclamation machinery (called by free functions below) -----------
+
+  /// Pop the limbo list `index` and scatter its objects into
+  /// objs_to_delete_ buckets keyed by owning locale; recycles the nodes.
+  void scatterLimboList(std::uint32_t index);
+
+  /// Delete every object in `objs_to_delete_[dest]`; must run on `dest`.
+  void deleteBucketFor(std::uint32_t dest);
+
+  void clearScatter() {
+    for (auto& bucket : objs_to_delete_) bucket.clear();
+  }
+
+  GlobalEpoch& global() noexcept { return *global_; }
+
+  EpochManagerStats statsSnapshot() const;
+
+  // Fields are accessed directly by the reclaim driver in epoch_manager.cpp
+  // and by white-box tests; this type is an implementation detail.
+  GlobalEpoch* global_;
+  std::atomic<std::uint64_t> locale_epoch_{1};
+  std::atomic<std::uint64_t> is_setting_epoch_{0};  // local FCFS flag
+  LimboList limbo_[kNumEpochs];
+  LimboNodePool<detail::ArenaLimboNodeAlloc> node_pool_;
+  TokenPool<detail::ArenaTokenAlloc> tokens_;
+
+  struct ScatterEntry {
+    void* obj;
+    ObjectDeleter deleter;
+  };
+  std::vector<std::vector<ScatterEntry>> objs_to_delete_;
+
+  // statistics (relaxed; summed across locales for reports)
+  std::atomic<std::uint64_t> deferred_{0};
+  std::atomic<std::uint64_t> reclaimed_{0};
+  std::atomic<std::uint64_t> advances_{0};
+  std::atomic<std::uint64_t> elections_lost_local_{0};
+  std::atomic<std::uint64_t> elections_lost_global_{0};
+  std::atomic<std::uint64_t> scans_unsafe_{0};
+};
+
+namespace detail {
+/// Listing 4: attempt to advance the global epoch and reclaim. Returns
+/// true iff the epoch advanced.
+bool epochTryReclaim(Privatized<EpochManagerImpl> handle);
+/// Reclaim everything in every epoch; caller guarantees quiescence.
+void epochClearAll(Privatized<EpochManagerImpl> handle);
+}  // namespace detail
+
+class EpochManager;
+
+/// RAII token handle (the paper wraps tokens in a managed class so scope
+/// exit unregisters them -- this is the C++ equivalent, which makes the
+/// `forall ... with (var tok = manager.registerTask())` pattern safe).
+class EpochToken {
+ public:
+  EpochToken() = default;
+  EpochToken(EpochToken&& other) noexcept { *this = std::move(other); }
+  EpochToken& operator=(EpochToken&& other) noexcept {
+    reset();
+    handle_ = other.handle_;
+    token_ = other.token_;
+    other.token_ = nullptr;
+    return *this;
+  }
+  EpochToken(const EpochToken&) = delete;
+  EpochToken& operator=(const EpochToken&) = delete;
+
+  ~EpochToken() { reset(); }
+
+  bool valid() const noexcept { return token_ != nullptr; }
+
+  void pin() { handle_.local().pin(token_); }
+  void unpin() { handle_.local().unpin(token_); }
+  bool pinned() const noexcept { return token_->pinned(); }
+  std::uint64_t epoch() const noexcept {
+    return token_->local_epoch.load(std::memory_order_relaxed);
+  }
+
+  /// Defer deletion of an object allocated with gnew/gnewOn. May target
+  /// any locale's object; reclamation ships it home (scatter lists).
+  template <typename T>
+  void deferDelete(T* obj) {
+    handle_.local().deferDelete(token_, obj, &detail::arenaDeleter<T>);
+  }
+
+  /// Custom-deleter escape hatch (deleter runs on the object's owner).
+  void deferDeleteRaw(void* obj, ObjectDeleter deleter) {
+    handle_.local().deferDelete(token_, obj, deleter);
+  }
+
+  /// Attempt a reclamation from this task (paper: "intended to be invoked
+  /// on the token or EpochManager").
+  bool tryReclaim() { return detail::epochTryReclaim(handle_); }
+
+  /// Early unregistration (otherwise the destructor does it).
+  void reset() {
+    if (token_ == nullptr) return;
+    handle_.local().unregisterToken(token_);
+    token_ = nullptr;
+  }
+
+ private:
+  friend class EpochManager;
+  EpochToken(Privatized<EpochManagerImpl> handle, Token* token)
+      : handle_(handle), token_(token) {}
+
+  Privatized<EpochManagerImpl> handle_;
+  Token* token_ = nullptr;
+};
+
+/// Global-view EpochManager handle. Trivially copyable record-wrapper:
+/// capture it by value in forall/coforall lambdas and every call resolves
+/// to the privatized instance of the executing locale.
+class EpochManager {
+ public:
+  EpochManager() = default;  // invalid handle; use create()
+
+  /// Collective: creates the global epoch (locale 0) and one privatized
+  /// instance per locale.
+  static EpochManager create();
+
+  /// Collective teardown: reclaims all deferred objects, then destroys the
+  /// per-locale instances and the global epoch.
+  void destroy();
+
+  bool valid() const noexcept { return handle_.valid(); }
+
+  /// Register the calling task; the token is bound to the calling locale.
+  EpochToken registerTask() const {
+    return EpochToken(handle_, handle_.local().registerToken());
+  }
+
+  bool tryReclaim() const { return detail::epochTryReclaim(handle_); }
+
+  /// Reclaim everything across all epochs. Caller guarantees no concurrent
+  /// use (paper's `clear`).
+  void clear() const { detail::epochClearAll(handle_); }
+
+  std::uint64_t currentGlobalEpoch() const {
+    return handle_.local().global().epoch.read();
+  }
+
+  /// Summed statistics across locales (diagnostic; quiescent-exact).
+  EpochManagerStats stats() const;
+
+  /// White-box access for tests/benches.
+  EpochManagerImpl& implHere() const { return handle_.local(); }
+  EpochManagerImpl* implOn(std::uint32_t locale) const {
+    return handle_.instanceOn(locale);
+  }
+
+ private:
+  Privatized<EpochManagerImpl> handle_;
+  GlobalEpoch* global_ = nullptr;
+};
+
+}  // namespace pgasnb

@@ -1,0 +1,47 @@
+// Umbrella header for the pgas-nb library.
+//
+//   #include <pgasnb.hpp>
+//
+//   int main() {
+//     pgasnb::RuntimeConfig cfg;
+//     cfg.num_locales = 8;
+//     pgasnb::Runtime rt(cfg);
+//     auto manager = pgasnb::EpochManager::create();
+//     ...
+//     manager.destroy();
+//   }
+#pragma once
+
+#include "util/backoff.hpp"
+#include "util/cache_line.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+#include "runtime/config.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/task.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/privatization.hpp"
+#include "runtime/dist_domain.hpp"
+#include "runtime/wide_ptr.hpp"
+
+#include "atomic/aba.hpp"
+#include "atomic/dcas.hpp"
+#include "atomic/pointer_compression.hpp"
+#include "atomic/local_atomic_object.hpp"
+#include "atomic/atomic_object.hpp"
+
+#include "epoch/limbo_list.hpp"
+#include "epoch/token.hpp"
+#include "epoch/epoch_manager.hpp"
+#include "epoch/local_epoch_manager.hpp"
+
+#include "ds/treiber_stack.hpp"
+#include "ds/ms_queue.hpp"
+#include "ds/harris_list.hpp"
+#include "ds/dist_stack.hpp"
+#include "ds/interlocked_hash_table.hpp"

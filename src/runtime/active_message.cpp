@@ -1,0 +1,43 @@
+#include "runtime/active_message.hpp"
+
+#include <algorithm>
+
+#include "runtime/runtime.hpp"
+#include "runtime/sim_clock.hpp"
+
+namespace pgasnb {
+
+ProgressThread::ProgressThread(std::uint32_t locale_id, AmQueue& queue)
+    : locale_id_(locale_id), queue_(queue), thread_([this] { run(); }) {}
+
+ProgressThread::~ProgressThread() {
+  stop_.store(true, std::memory_order_release);
+  queue_.notifyAll();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ProgressThread::run() {
+  // The progress thread permanently impersonates its locale.
+  taskContext().here = locale_id_;
+  const LatencyModel& lat = Runtime::get().config().latency;
+
+  AmRequest req;
+  while (queue_.popOrWait(req, stop_)) {
+    // FIFO queueing in simulated time: the message reaches this locale at
+    // send_time + wire; service begins when the channel frees up.
+    const std::uint64_t arrival = req.send_time + lat.am_wire_ns;
+    const std::uint64_t start = std::max(arrival, busy_until_);
+    sim::setNow(start);
+    sim::charge(lat.am_service_ns);
+    req.fn();
+    const std::uint64_t end = sim::now();
+    busy_until_ = end;
+    serviced_.fetch_add(1, std::memory_order_relaxed);
+    if (req.completion != nullptr) {
+      req.completion->store(end + 1, std::memory_order_release);
+    }
+    req = AmRequest{};  // drop closure state before blocking again
+  }
+}
+
+}  // namespace pgasnb

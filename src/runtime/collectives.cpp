@@ -1,0 +1,39 @@
+#include "runtime/collectives.hpp"
+
+#include <atomic>
+
+#include "runtime/task.hpp"
+
+namespace pgasnb {
+
+void barrierAllLocales() {
+  coforallLocales([] {});
+}
+
+bool allLocalesAnd(const std::function<bool()>& f) {
+  std::atomic<bool> result{true};
+  coforallLocales([&] {
+    if (!f()) result.store(false, std::memory_order_relaxed);
+  });
+  return result.load(std::memory_order_relaxed);
+}
+
+std::uint64_t allLocalesMin(const std::function<std::uint64_t()>& f) {
+  std::atomic<std::uint64_t> result{~std::uint64_t{0}};
+  coforallLocales([&] {
+    const std::uint64_t v = f();
+    std::uint64_t cur = result.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !result.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  });
+  return result.load(std::memory_order_relaxed);
+}
+
+std::uint64_t allLocalesSum(const std::function<std::uint64_t()>& f) {
+  std::atomic<std::uint64_t> result{0};
+  coforallLocales([&] { result.fetch_add(f(), std::memory_order_relaxed); });
+  return result.load(std::memory_order_relaxed);
+}
+
+}  // namespace pgasnb

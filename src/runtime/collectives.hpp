@@ -1,0 +1,27 @@
+// Collectives over all locales: barrier and simple reductions.
+//
+// The EpochManager's safety scan is an and-reduction executed *on* each
+// locale (Listing 4, `coforall ... with (&& reduce safeToReclaim)`); these
+// helpers give that loop a first-class spelling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace pgasnb {
+
+/// All-locales barrier (one task per locale, joined).
+void barrierAllLocales();
+
+/// Runs `f` once on every locale; returns the AND of the results.
+/// Short-circuiting is cooperative: once any locale produces `false`,
+/// laggards still run but their result cannot flip the outcome.
+bool allLocalesAnd(const std::function<bool()>& f);
+
+/// Runs `f` once on every locale; returns the minimum of the results.
+std::uint64_t allLocalesMin(const std::function<std::uint64_t()>& f);
+
+/// Runs `f` once on every locale; returns the sum of the results.
+std::uint64_t allLocalesSum(const std::function<std::uint64_t()>& f);
+
+}  // namespace pgasnb

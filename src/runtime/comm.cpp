@@ -1,0 +1,278 @@
+#include "runtime/comm.hpp"
+
+#include <cstring>
+
+#include "util/backoff.hpp"
+#include "util/check.hpp"
+
+namespace pgasnb::comm {
+
+namespace {
+
+struct AtomicCounters {
+  std::atomic<std::uint64_t> nic_atomics{0};
+  std::atomic<std::uint64_t> cpu_atomics{0};
+  std::atomic<std::uint64_t> am_sync{0};
+  std::atomic<std::uint64_t> am_async{0};
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> dcas_local{0};
+  std::atomic<std::uint64_t> dcas_remote{0};
+};
+
+AtomicCounters g_counters;
+
+inline void bump(std::atomic<std::uint64_t>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline std::uint32_t ownerOf(const void* p) {
+  return Runtime::get().localeOfAddress(p);
+}
+
+/// Dispatch a 64-bit atomic op according to the comm mode. `op` performs
+/// the operation with plain processor atomics and must be safe to run on
+/// any thread (ugni) or on the owner's progress thread (none/remote).
+template <typename Op>
+void dispatchAmo(const void* target, const Op& op) {
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  if (rt.commMode() == CommMode::ugni) {
+    // NIC-side atomic: constant cost irrespective of locality, no target
+    // CPU involvement, no serialization beyond the memory system itself.
+    bump(g_counters.nic_atomics);
+    sim::charge(lat.nic_atomic_ns);
+    op();
+    return;
+  }
+  const std::uint32_t owner = ownerOf(target);
+  if (owner == Runtime::here()) {
+    bump(g_counters.cpu_atomics);
+    sim::charge(lat.cpu_atomic_ns);
+    op();
+    return;
+  }
+  amSync(owner, [&op, &lat] {
+    sim::charge(lat.cpu_atomic_ns);
+    op();
+  });
+}
+
+// 16-byte hardware CAS (CMPXCHG16B via the __atomic builtins; GCC routes
+// these through libatomic, which uses the lock-free instruction on x86-64).
+inline bool dcasHardware(U128* target, U128& expected, U128 desired) {
+  return __atomic_compare_exchange(target, &expected, &desired,
+                                   /*weak=*/false, __ATOMIC_SEQ_CST,
+                                   __ATOMIC_SEQ_CST);
+}
+
+inline U128 dloadHardware(U128* target) {
+  U128 out;
+  __atomic_load(target, &out, __ATOMIC_SEQ_CST);
+  return out;
+}
+
+inline void dstoreHardware(U128* target, U128 desired) {
+  __atomic_store(target, &desired, __ATOMIC_SEQ_CST);
+}
+
+inline U128 dexchangeHardware(U128* target, U128 desired) {
+  U128 out;
+  __atomic_exchange(target, &desired, &out, __ATOMIC_SEQ_CST);
+  return out;
+}
+
+}  // namespace
+
+void amSync(std::uint32_t loc, const std::function<void()>& fn) {
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  if (loc == Runtime::here()) {
+    // Chapel elides the fork for local `on` bodies; keep a token cost.
+    sim::charge(lat.cpu_atomic_ns);
+    fn();
+    return;
+  }
+  bump(g_counters.am_sync);
+  std::atomic<std::uint64_t> completion{0};
+  AmRequest req;
+  req.fn = fn;
+  req.send_time = sim::now();
+  req.completion = &completion;
+  rt.locale(loc).amQueue().push(std::move(req));
+  spinUntil([&completion] {
+    return completion.load(std::memory_order_acquire) != 0;
+  });
+  const std::uint64_t end = completion.load(std::memory_order_acquire) - 1;
+  sim::joinAtLeast(end + lat.am_wire_ns);
+}
+
+void amAsync(std::uint32_t loc, std::function<void()> fn) {
+  Runtime& rt = Runtime::get();
+  if (loc == Runtime::here()) {
+    fn();
+    return;
+  }
+  bump(g_counters.am_async);
+  AmRequest req;
+  req.fn = std::move(fn);
+  req.send_time = sim::now();
+  rt.locale(loc).amQueue().push(std::move(req));
+  // Sender-side injection cost of a one-way message.
+  sim::chargeModelOnly(Runtime::get().config().latency.cpu_atomic_ns);
+}
+
+std::uint64_t atomicRead(const std::atomic<std::uint64_t>& a) {
+  std::uint64_t out = 0;
+  dispatchAmo(&a, [&] { out = a.load(std::memory_order_seq_cst); });
+  return out;
+}
+
+void atomicWrite(std::atomic<std::uint64_t>& a, std::uint64_t value) {
+  dispatchAmo(&a, [&] { a.store(value, std::memory_order_seq_cst); });
+}
+
+std::uint64_t atomicExchange(std::atomic<std::uint64_t>& a, std::uint64_t value) {
+  std::uint64_t out = 0;
+  dispatchAmo(&a, [&] { out = a.exchange(value, std::memory_order_seq_cst); });
+  return out;
+}
+
+bool atomicCas(std::atomic<std::uint64_t>& a, std::uint64_t& expected,
+               std::uint64_t desired) {
+  bool ok = false;
+  dispatchAmo(&a, [&] {
+    ok = a.compare_exchange_strong(expected, desired,
+                                   std::memory_order_seq_cst);
+  });
+  return ok;
+}
+
+std::uint64_t atomicFetchAdd(std::atomic<std::uint64_t>& a, std::uint64_t delta) {
+  std::uint64_t out = 0;
+  dispatchAmo(&a, [&] { out = a.fetch_add(delta, std::memory_order_seq_cst); });
+  return out;
+}
+
+bool atomicTestAndSet(std::atomic<std::uint64_t>& flag) {
+  std::uint64_t out = 0;
+  dispatchAmo(&flag, [&] { out = flag.exchange(1, std::memory_order_seq_cst); });
+  return out != 0;
+}
+
+void atomicClear(std::atomic<std::uint64_t>& flag) {
+  dispatchAmo(&flag, [&] { flag.store(0, std::memory_order_seq_cst); });
+}
+
+bool dcas(U128& target, U128& expected, U128 desired) {
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  const std::uint32_t owner = ownerOf(&target);
+  if (owner == Runtime::here()) {
+    bump(g_counters.dcas_local);
+    sim::charge(lat.cpu_atomic_ns);
+    return dcasHardware(&target, expected, desired);
+  }
+  // No RDMA NIC offers 16-byte atomics: always remote execution (paper
+  // Sec. II.A -- the DCAS path "demotes" to active messages).
+  bump(g_counters.dcas_remote);
+  bool ok = false;
+  amSync(owner, [&] {
+    sim::charge(lat.cpu_atomic_ns);
+    ok = dcasHardware(&target, expected, desired);
+  });
+  return ok;
+}
+
+U128 dread(U128& target) {
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  const std::uint32_t owner = ownerOf(&target);
+  if (owner == Runtime::here()) {
+    sim::charge(lat.cpu_atomic_ns);
+    return dloadHardware(&target);
+  }
+  U128 out;
+  amSync(owner, [&] {
+    sim::charge(lat.cpu_atomic_ns);
+    out = dloadHardware(&target);
+  });
+  return out;
+}
+
+void dwrite(U128& target, U128 desired) {
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  const std::uint32_t owner = ownerOf(&target);
+  if (owner == Runtime::here()) {
+    sim::charge(lat.cpu_atomic_ns);
+    dstoreHardware(&target, desired);
+    return;
+  }
+  amSync(owner, [&] {
+    sim::charge(lat.cpu_atomic_ns);
+    dstoreHardware(&target, desired);
+  });
+}
+
+U128 dexchange(U128& target, U128 desired) {
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  const std::uint32_t owner = ownerOf(&target);
+  if (owner == Runtime::here()) {
+    sim::charge(lat.cpu_atomic_ns);
+    return dexchangeHardware(&target, desired);
+  }
+  U128 out;
+  amSync(owner, [&] {
+    sim::charge(lat.cpu_atomic_ns);
+    out = dexchangeHardware(&target, desired);
+  });
+  return out;
+}
+
+void put(std::uint32_t dst_locale, void* dst, const void* src,
+         std::size_t bytes) {
+  Runtime& rt = Runtime::get();
+  bump(g_counters.puts);
+  std::memcpy(dst, src, bytes);
+  if (dst_locale != Runtime::here()) {
+    sim::charge(rt.config().latency.bulkCost(bytes));
+  }
+}
+
+void get(void* dst, std::uint32_t src_locale, const void* src,
+         std::size_t bytes) {
+  Runtime& rt = Runtime::get();
+  bump(g_counters.gets);
+  std::memcpy(dst, src, bytes);
+  if (src_locale != Runtime::here()) {
+    sim::charge(rt.config().latency.bulkCost(bytes));
+  }
+}
+
+Counters counters() noexcept {
+  Counters snapshot;
+  snapshot.nic_atomics = g_counters.nic_atomics.load(std::memory_order_relaxed);
+  snapshot.cpu_atomics = g_counters.cpu_atomics.load(std::memory_order_relaxed);
+  snapshot.am_sync = g_counters.am_sync.load(std::memory_order_relaxed);
+  snapshot.am_async = g_counters.am_async.load(std::memory_order_relaxed);
+  snapshot.puts = g_counters.puts.load(std::memory_order_relaxed);
+  snapshot.gets = g_counters.gets.load(std::memory_order_relaxed);
+  snapshot.dcas_local = g_counters.dcas_local.load(std::memory_order_relaxed);
+  snapshot.dcas_remote = g_counters.dcas_remote.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void resetCounters() noexcept {
+  g_counters.nic_atomics.store(0, std::memory_order_relaxed);
+  g_counters.cpu_atomics.store(0, std::memory_order_relaxed);
+  g_counters.am_sync.store(0, std::memory_order_relaxed);
+  g_counters.am_async.store(0, std::memory_order_relaxed);
+  g_counters.puts.store(0, std::memory_order_relaxed);
+  g_counters.gets.store(0, std::memory_order_relaxed);
+  g_counters.dcas_local.store(0, std::memory_order_relaxed);
+  g_counters.dcas_remote.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pgasnb::comm

@@ -1,0 +1,139 @@
+// Communication layer: RDMA-style PUT/GET, remote atomics, and remote
+// execution.
+//
+// This is the layer where CommMode matters:
+//
+//             |  CommMode::ugni              |  CommMode::none
+//  -----------+------------------------------+---------------------------------
+//  64-bit AMO |  NIC executes it directly    |  local: processor atomic;
+//             |  (~1.1us) -- even when the   |  remote: active message run by
+//             |  target is local, because    |  the target's progress thread
+//             |  NIC atomics aren't coherent |
+//  128-bit op |  never RDMA (hardware has no |  same as ugni: local DCAS or
+//  (DCAS)     |  16-byte AMO): local DCAS or |  AM + DCAS at the target
+//             |  AM + DCAS at the target     |
+//  PUT/GET    |  RDMA, no target CPU         |  RDMA (Chapel uses RDMA for
+//             |                              |  puts/gets regardless)
+//
+// All functions charge simulated time; physical delays are injected when
+// RuntimeConfig::inject_delays is on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "runtime/runtime.hpp"
+
+namespace pgasnb {
+
+/// 16-byte unit for double-word (DCAS) operations.
+struct alignas(16) U128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const U128& a, const U128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+namespace comm {
+
+// --- remote execution -------------------------------------------------
+
+/// Run `fn` on `loc`'s progress thread and wait for completion. The calling
+/// task's simulated clock is advanced to the completion time plus the return
+/// wire latency. Handlers must be short (they serialize the target locale).
+void amSync(std::uint32_t loc, const std::function<void()>& fn);
+
+/// Fire-and-forget handler execution on `loc`'s progress thread.
+void amAsync(std::uint32_t loc, std::function<void()> fn);
+
+// --- network-visible 64-bit atomics ------------------------------------
+
+// `a` must live on locale `ownerOf(&a)`; these are the PGAS equivalents of
+// Chapel's `atomic uint` network atomics. Memory order is seq_cst
+// throughout: RDMA atomics have no relaxed variants.
+
+std::uint64_t atomicRead(const std::atomic<std::uint64_t>& a);
+void atomicWrite(std::atomic<std::uint64_t>& a, std::uint64_t value);
+std::uint64_t atomicExchange(std::atomic<std::uint64_t>& a, std::uint64_t value);
+bool atomicCas(std::atomic<std::uint64_t>& a, std::uint64_t& expected,
+               std::uint64_t desired);
+std::uint64_t atomicFetchAdd(std::atomic<std::uint64_t>& a, std::uint64_t delta);
+
+/// Test-and-set / clear on a 64-bit flag word (1 = set). Returns previous.
+bool atomicTestAndSet(std::atomic<std::uint64_t>& flag);
+void atomicClear(std::atomic<std::uint64_t>& flag);
+
+// --- 128-bit operations (pointer + ABA counter) -------------------------
+
+/// Double-word CAS against a (possibly remote) 16-byte word. RDMA NICs
+/// cannot do 16-byte atomics, so remote targets always use remote execution
+/// -- this is exactly the "demotion" the paper describes in Sec. II.A.
+bool dcas(U128& target, U128& expected, U128 desired);
+
+/// Atomic 128-bit read (CAS-loop based locally, AM remotely).
+U128 dread(U128& target);
+
+/// Atomic 128-bit write.
+void dwrite(U128& target, U128 desired);
+
+/// Atomic 128-bit exchange; returns the previous value.
+U128 dexchange(U128& target, U128 desired);
+
+// --- bulk data movement --------------------------------------------------
+
+/// RDMA PUT: copy `bytes` from local `src` into `dst` on `dst_locale`.
+void put(std::uint32_t dst_locale, void* dst, const void* src, std::size_t bytes);
+
+/// RDMA GET: copy `bytes` from `src` on `src_locale` into local `dst`.
+void get(void* dst, std::uint32_t src_locale, const void* src, std::size_t bytes);
+
+// --- instrumentation -------------------------------------------------
+
+struct Counters {
+  std::uint64_t nic_atomics = 0;
+  std::uint64_t cpu_atomics = 0;
+  std::uint64_t am_sync = 0;
+  std::uint64_t am_async = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t dcas_local = 0;
+  std::uint64_t dcas_remote = 0;
+};
+
+/// Snapshot of process-wide communication counters (approximate under
+/// concurrency; exact when quiescent). Benchmarks use deltas.
+Counters counters() noexcept;
+void resetCounters() noexcept;
+
+}  // namespace comm
+
+/// Chapel-style `atomic uint` field: a 64-bit atomic whose operations obey
+/// the active CommMode, with ownership derived from its address. Embed it in
+/// objects allocated via gnewOn/gnew. This is the *network-visible* flavor;
+/// for locale-private state use plain std::atomic (the paper's "opting out"
+/// of network atomics).
+class DistAtomicU64 {
+ public:
+  explicit DistAtomicU64(std::uint64_t initial = 0) noexcept : v_(initial) {}
+
+  std::uint64_t read() const { return comm::atomicRead(v_); }
+  void write(std::uint64_t value) { comm::atomicWrite(v_, value); }
+  std::uint64_t exchange(std::uint64_t value) { return comm::atomicExchange(v_, value); }
+  bool compareAndSwap(std::uint64_t& expected, std::uint64_t desired) {
+    return comm::atomicCas(v_, expected, desired);
+  }
+  std::uint64_t fetchAdd(std::uint64_t delta) { return comm::atomicFetchAdd(v_, delta); }
+  bool testAndSet() { return comm::atomicTestAndSet(v_); }
+  void clear() { comm::atomicClear(v_); }
+
+  /// Raw peek without communication semantics (diagnostics only).
+  std::uint64_t peek() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<std::uint64_t> v_;
+};
+
+}  // namespace pgasnb

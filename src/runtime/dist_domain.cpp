@@ -1,0 +1,11 @@
+// Intentionally (almost) empty: DistArray is a template. This TU exists so
+// the domain classes get an out-of-line home if they ever need one and so
+// the library has a stable archive member for this header.
+#include "runtime/dist_domain.hpp"
+
+namespace pgasnb {
+
+static_assert(sizeof(CyclicDomain) <= 16, "domains are value types");
+static_assert(sizeof(BlockDomain) <= 16, "domains are value types");
+
+}  // namespace pgasnb

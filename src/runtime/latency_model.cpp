@@ -1,0 +1,19 @@
+#include "runtime/latency_model.hpp"
+
+#include <chrono>
+
+#include "util/cache_line.hpp"
+
+namespace pgasnb {
+
+void busyWaitNanos(std::uint64_t ns, double scale) {
+  if (ns == 0 || scale <= 0.0) return;
+  const auto wait = std::chrono::nanoseconds(
+      static_cast<std::uint64_t>(static_cast<double>(ns) * scale));
+  const auto deadline = std::chrono::steady_clock::now() + wait;
+  while (std::chrono::steady_clock::now() < deadline) {
+    cpuRelax();
+  }
+}
+
+}  // namespace pgasnb

@@ -1,0 +1,14 @@
+#include "runtime/privatization.hpp"
+
+#include <atomic>
+
+namespace pgasnb::detail {
+
+std::size_t nextPrivatizationId() {
+  // Process-lifetime counter: ids are never recycled, so a dangling handle
+  // can only ever observe "missing instance", not someone else's instance.
+  static std::atomic<std::size_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pgasnb::detail

@@ -1,0 +1,44 @@
+// Per-task simulated clocks.
+//
+// The runtime executes everything for real (real threads, real atomics) and
+// *additionally* advances a simulated clock per task, charged from the
+// LatencyModel. Task joins take the max over children, and progress threads
+// model FIFO queueing, so the aggregate simulated elapsed time has the shape
+// a real multi-node interconnect would produce even though the host only has
+// a couple of cores (see DESIGN.md, substitution table).
+#pragma once
+
+#include <cstdint>
+
+namespace pgasnb {
+
+/// Thread-local execution context: which simulated locale this OS thread is
+/// currently acting as, and its simulated clock (ns since runtime start).
+struct TaskContext {
+  std::uint32_t here = 0;
+  std::uint64_t sim_now = 0;
+};
+
+TaskContext& taskContext() noexcept;
+
+namespace sim {
+
+/// Current task's simulated time (ns).
+std::uint64_t now() noexcept;
+
+/// Set the simulated clock (used by task executors when starting a task).
+void setNow(std::uint64_t ns) noexcept;
+
+/// Fold a child's completion time into the current task (max-join).
+void joinAtLeast(std::uint64_t ns) noexcept;
+
+/// Charge `ns` of simulated time to the current task. If the active runtime
+/// has delay injection enabled, also busy-waits the scaled physical delay.
+void charge(std::uint64_t ns);
+
+/// Charge simulated time only, never a physical delay (for costs that are
+/// physically realized some other way, e.g. waiting on a progress thread).
+void chargeModelOnly(std::uint64_t ns) noexcept;
+
+}  // namespace sim
+}  // namespace pgasnb

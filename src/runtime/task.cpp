@@ -1,0 +1,182 @@
+#include "runtime/task.hpp"
+
+#include <algorithm>
+
+#include "runtime/runtime.hpp"
+#include "runtime/sim_clock.hpp"
+#include "util/backoff.hpp"
+#include "util/check.hpp"
+
+namespace pgasnb {
+
+void TaskQueue::push(TaskItem&& item) {
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+}
+
+bool TaskQueue::tryPop(TaskItem& out) {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (queue_.empty()) return false;
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+bool TaskQueue::popOrWait(TaskItem& out, const std::atomic<bool>& stop) {
+  std::unique_lock<std::mutex> guard(lock_);
+  cv_.wait(guard, [&] {
+    return !queue_.empty() || stop.load(std::memory_order_acquire);
+  });
+  if (queue_.empty()) return false;
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void TaskQueue::notifyAll() { cv_.notify_all(); }
+
+std::size_t TaskQueue::sizeApprox() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return queue_.size();
+}
+
+void executeTaskInline(TaskItem& item) {
+  TaskContext saved = taskContext();
+  taskContext().here = item.locale;
+  taskContext().sim_now = item.start_time;
+  try {
+    item.fn();
+  } catch (...) {
+    item.state->error = std::current_exception();
+  }
+  item.state->end_time = sim::now();
+  item.state->locale = item.locale;
+  item.state->done.store(true, std::memory_order_release);
+  taskContext() = saved;
+}
+
+TaskGroup::~TaskGroup() {
+  if (!waited_ && !states_.empty()) {
+    // Joining in a destructor cannot rethrow; swallow child errors here.
+    try {
+      wait();
+    } catch (...) {
+    }
+  }
+}
+
+void TaskGroup::spawnOn(std::uint32_t loc, std::function<void()> fn) {
+  Runtime& rt = Runtime::get();
+  PGASNB_CHECK_MSG(loc < rt.numLocales(), "spawnOn: locale out of range");
+  const LatencyModel& lat = rt.config().latency;
+  auto state = std::make_shared<TaskState>();
+
+  TaskItem item;
+  item.fn = std::move(fn);
+  item.locale = loc;
+  item.state = state;
+  const bool remote = loc != Runtime::here();
+  item.start_time = sim::now() + (remote ? lat.am_wire_ns + lat.remote_task_spawn_ns
+                                         : lat.local_task_spawn_ns);
+  states_.push_back(std::move(state));
+  rt.taskQueue(loc).push(std::move(item));
+  waited_ = false;
+}
+
+void TaskGroup::wait() {
+  waited_ = true;
+  if (states_.empty()) return;
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  const std::uint32_t my_locale = Runtime::here();
+
+  // Join with helping: while any child is outstanding, execute queued tasks
+  // (own locale first, then round-robin) instead of blocking the thread.
+  std::size_t next_unfinished = 0;
+  Backoff backoff;
+  while (true) {
+    while (next_unfinished < states_.size() &&
+           states_[next_unfinished]->done.load(std::memory_order_acquire)) {
+      ++next_unfinished;
+    }
+    if (next_unfinished == states_.size()) break;
+
+    TaskItem stolen;
+    bool found = rt.taskQueue(my_locale).tryPop(stolen);
+    if (!found) {
+      for (std::uint32_t l = 0; l < rt.numLocales() && !found; ++l) {
+        if (l == my_locale) continue;
+        found = rt.taskQueue(l).tryPop(stolen);
+      }
+    }
+    if (found) {
+      executeTaskInline(stolen);
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+
+  // Fold children's completion times into this task's clock and surface the
+  // first error (after all children have quiesced, like Chapel's coforall).
+  std::uint64_t join_time = sim::now();
+  std::exception_ptr first_error;
+  for (const auto& st : states_) {
+    const bool remote = st->locale != my_locale;
+    const std::uint64_t arrival =
+        st->end_time + (remote ? lat.am_wire_ns : 0);
+    join_time = std::max(join_time, arrival);
+    if (st->error && !first_error) first_error = st->error;
+  }
+  sim::joinAtLeast(join_time);
+  states_.clear();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void onLocale(std::uint32_t loc, const std::function<void()>& fn) {
+  TaskGroup group;
+  group.spawnOn(loc, fn);
+  group.wait();
+}
+
+void coforallLocales(const std::function<void()>& fn) {
+  Runtime& rt = Runtime::get();
+  TaskGroup group;
+  for (std::uint32_t l = 0; l < rt.numLocales(); ++l) {
+    group.spawnOn(l, fn);
+  }
+  group.wait();
+}
+
+void coforallHere(std::uint32_t n,
+                  const std::function<void(std::uint32_t)>& fn) {
+  TaskGroup group;
+  const std::uint32_t here = Runtime::here();
+  for (std::uint32_t t = 0; t < n; ++t) {
+    group.spawnOn(here, [&fn, t] { fn(t); });
+  }
+  group.wait();
+}
+
+void forallHere(std::uint64_t n, std::uint32_t tasks,
+                const std::function<void(std::uint64_t)>& fn) {
+  if (n == 0) return;
+  tasks = std::max<std::uint32_t>(1, std::min<std::uint64_t>(tasks, n));
+  TaskGroup group;
+  const std::uint32_t here = Runtime::here();
+  const std::uint64_t chunk = (n + tasks - 1) / tasks;
+  for (std::uint32_t t = 0; t < tasks; ++t) {
+    const std::uint64_t lo = t * chunk;
+    const std::uint64_t hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    group.spawnOn(here, [&fn, lo, hi] {
+      for (std::uint64_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  group.wait();
+}
+
+}  // namespace pgasnb

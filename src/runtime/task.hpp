@@ -1,0 +1,101 @@
+// Tasking: `on` statements, coforall, and task groups.
+//
+// Chapel semantics reproduced here:
+//   * onLocale(l, f)        - synchronous remote task (Chapel `on loc do ...`)
+//   * onLocaleAsync(l, f)   - begin-on (fire-and-join via TaskGroup)
+//   * coforallLocales(f)    - one task per locale, joined (Chapel `coforall
+//                             loc in Locales do on loc ...`)
+//   * coforallHere(n, f)    - n tasks on the current locale
+//
+// Each locale has a small pool of persistent worker threads. A blocked
+// TaskGroup::wait() *helps*: it steals queued tasks (own locale first) and
+// executes them inline, so nested coforalls can never deadlock regardless of
+// pool size, and the two physical cores stay busy.
+//
+// Simulated time: a child task starts at parent_now + spawn cost (+ wire if
+// cross-locale) and the join folds max(child end + return wire) back into
+// the parent, so weak-scaling sweeps report interconnect-shaped timings.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pgasnb {
+
+struct TaskState {
+  std::atomic<bool> done{false};
+  std::uint64_t end_time = 0;  // valid once done is true (release/acquire)
+  std::uint32_t locale = 0;
+  std::exception_ptr error;
+};
+
+struct TaskItem {
+  std::function<void()> fn;
+  std::uint64_t start_time = 0;
+  std::uint32_t locale = 0;
+  std::shared_ptr<TaskState> state;
+};
+
+class TaskQueue {
+ public:
+  void push(TaskItem&& item);
+  bool tryPop(TaskItem& out);
+  bool popOrWait(TaskItem& out, const std::atomic<bool>& stop);
+  void notifyAll();
+  std::size_t sizeApprox() const;
+
+ private:
+  mutable std::mutex lock_;
+  std::condition_variable cv_;
+  std::deque<TaskItem> queue_;
+};
+
+/// Executes a task item on the calling thread, impersonating the task's
+/// locale and clock, then restores the caller's context.
+void executeTaskInline(TaskItem& item);
+
+/// Handle to a set of spawned tasks; join point with helping.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  ~TaskGroup();  // waits if the user forgot (keeps RAII honest)
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Spawn `fn` as a task on locale `loc`.
+  void spawnOn(std::uint32_t loc, std::function<void()> fn);
+
+  /// Join all spawned tasks; folds child completion times into the caller's
+  /// simulated clock and rethrows the first child exception.
+  void wait();
+
+  bool empty() const { return states_.empty(); }
+
+ private:
+  std::vector<std::shared_ptr<TaskState>> states_;
+  bool waited_ = false;
+};
+
+/// Synchronous `on loc do fn()`.
+void onLocale(std::uint32_t loc, const std::function<void()>& fn);
+
+/// One task per locale; `fn` observes its locale via Runtime::here().
+void coforallLocales(const std::function<void()>& fn);
+
+/// `n` tasks on the current locale; fn(task_index).
+void coforallHere(std::uint32_t n, const std::function<void(std::uint32_t)>& fn);
+
+/// Parallel iteration of [0, n) on the current locale with `tasks` chunks.
+void forallHere(std::uint64_t n, std::uint32_t tasks,
+                const std::function<void(std::uint64_t)>& fn);
+
+}  // namespace pgasnb

@@ -1,0 +1,43 @@
+// Wide pointers: the PGAS representation of a class-instance reference.
+//
+// In Chapel a class instance is a 128-bit widened pointer (64-bit virtual
+// address + 64 bits of locality). In this runtime all locales share one
+// address space, so the raw pointer is usable anywhere; the wide pointer
+// keeps the locality information explicit, which is what AtomicObject's
+// pointer compression encodes into a single 64-bit word.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+
+namespace pgasnb {
+
+template <typename T>
+struct WidePtr {
+  T* addr = nullptr;
+  std::uint32_t locale = 0;
+
+  constexpr WidePtr() = default;
+  constexpr WidePtr(T* a, std::uint32_t l) : addr(a), locale(l) {}
+
+  bool isNil() const noexcept { return addr == nullptr; }
+  bool isLocal() const { return locale == Runtime::here(); }
+
+  T* raw() const noexcept { return addr; }
+  T* operator->() const noexcept { return addr; }
+  T& operator*() const noexcept { return *addr; }
+
+  friend bool operator==(const WidePtr& a, const WidePtr& b) {
+    return a.addr == b.addr && (a.addr == nullptr || a.locale == b.locale);
+  }
+};
+
+/// Widen a raw pointer by asking the runtime who owns its address.
+template <typename T>
+WidePtr<T> widen(T* p) {
+  if (p == nullptr) return {};
+  return {p, Runtime::get().localeOfAddress(p)};
+}
+
+}  // namespace pgasnb

@@ -1,0 +1,54 @@
+// Bounded exponential backoff for contended CAS loops.
+//
+// Retry loops in the non-blocking structures back off to reduce coherence
+// storms; after a threshold the backoff yields the OS thread, which matters
+// here because simulated locales oversubscribe physical cores.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "util/cache_line.hpp"
+
+namespace pgasnb {
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t min_spins = 4,
+                   std::uint32_t max_spins = 1024) noexcept
+      : current_(min_spins), max_spins_(max_spins) {}
+
+  /// One backoff episode; escalates geometrically, then yields.
+  void pause() noexcept {
+    if (current_ <= max_spins_) {
+      for (std::uint32_t i = 0; i < current_; ++i) cpuRelax();
+      current_ *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset(std::uint32_t min_spins = 4) noexcept { current_ = min_spins; }
+
+  /// True once the spin phase is exhausted (useful for tests/diagnostics).
+  bool saturated() const noexcept { return current_ > max_spins_; }
+
+ private:
+  std::uint32_t current_;
+  std::uint32_t max_spins_;
+};
+
+/// Spin until `cond()` is true, backing off in between. Returns the number
+/// of episodes taken (0 if the condition held immediately).
+template <typename Cond>
+std::uint64_t spinUntil(Cond&& cond) {
+  Backoff backoff;
+  std::uint64_t episodes = 0;
+  while (!cond()) {
+    backoff.pause();
+    ++episodes;
+  }
+  return episodes;
+}
+
+}  // namespace pgasnb

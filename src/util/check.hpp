@@ -1,0 +1,38 @@
+// Always-on invariant checking.
+//
+// PGASNB_CHECK stays active in release builds: the library's correctness
+// claims (EBR safety, arena ownership, pointer-compression ranges) are cheap
+// to verify relative to the simulated communication costs, and silent
+// corruption in a concurrency library is far worse than a branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pgasnb::detail {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "pgasnb: check failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace pgasnb::detail
+
+#define PGASNB_CHECK(expr)                                               \
+  (static_cast<bool>(expr)                                               \
+       ? void(0)                                                         \
+       : ::pgasnb::detail::checkFailed(#expr, __FILE__, __LINE__, nullptr))
+
+#define PGASNB_CHECK_MSG(expr, msg)                                      \
+  (static_cast<bool>(expr)                                               \
+       ? void(0)                                                         \
+       : ::pgasnb::detail::checkFailed(#expr, __FILE__, __LINE__, (msg)))
+
+#ifndef NDEBUG
+#define PGASNB_DCHECK(expr) PGASNB_CHECK(expr)
+#else
+#define PGASNB_DCHECK(expr) void(0)
+#endif

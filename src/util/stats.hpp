@@ -1,0 +1,69 @@
+// Small statistics helpers for benchmarks and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pgasnb {
+
+/// Welford's online mean/variance; numerically stable single pass.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void merge(const OnlineStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto total = static_cast<double>(n_ + other.n_);
+    m2_ += other.m2_ + delta * delta *
+                           (static_cast<double>(n_) *
+                            static_cast<double>(other.n_) / total);
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile over a sample vector (linear interpolation, q in [0,1]).
+inline double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+}  // namespace pgasnb

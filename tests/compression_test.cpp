@@ -1,0 +1,91 @@
+// Pointer compression: roundtrip properties and range guards (paper II.A).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "atomic/pointer_compression.hpp"
+#include "util/rng.hpp"
+
+namespace pgasnb {
+namespace {
+
+TEST(Compression, NullCompressesToZero) {
+  EXPECT_EQ(compressPointer(0, nullptr), 0u);
+  EXPECT_EQ(compressPointer(1234, nullptr), 0u);
+  const auto d = decompressPointer(0);
+  EXPECT_EQ(d.addr, nullptr);
+  EXPECT_EQ(d.locale, 0u);
+}
+
+TEST(Compression, RoundTripPreservesBoth) {
+  int local_value = 0;
+  const std::uint64_t word = compressPointer(77, &local_value);
+  const auto d = decompressPointer(word);
+  EXPECT_EQ(d.addr, &local_value);
+  EXPECT_EQ(d.locale, 77u);
+}
+
+TEST(Compression, LocaleLivesInTopSixteenBits) {
+  int x = 0;
+  const std::uint64_t w0 = compressPointer(0, &x);
+  const std::uint64_t w1 = compressPointer(1, &x);
+  EXPECT_EQ(w1 - w0, std::uint64_t{1} << kVaBits);
+  EXPECT_EQ(w0 & kVaMask, reinterpret_cast<std::uint64_t>(&x));
+}
+
+TEST(Compression, MaxLocaleRoundTrips) {
+  int x = 0;
+  const std::uint32_t max_locale = kMaxCompressedLocales - 1;
+  const auto d = decompressPointer(compressPointer(max_locale, &x));
+  EXPECT_EQ(d.locale, max_locale);
+  EXPECT_EQ(d.addr, &x);
+}
+
+TEST(Compression, RejectsLocaleBeyondSixteenBits) {
+  int x = 0;
+  EXPECT_DEATH((void)compressPointer(kMaxCompressedLocales, &x), "16 bits");
+}
+
+TEST(Compression, RejectsNonCanonicalAddress) {
+  auto* bogus = reinterpret_cast<void*>(std::uint64_t{1} << 55);
+  EXPECT_DEATH((void)compressPointer(0, bogus), "48 bits");
+}
+
+TEST(Compression, CompressibleAddressPredicate) {
+  int x = 0;
+  EXPECT_TRUE(compressibleAddress(&x));
+  EXPECT_TRUE(compressibleAddress(nullptr));
+  EXPECT_FALSE(
+      compressibleAddress(reinterpret_cast<void*>(std::uint64_t{1} << 50)));
+}
+
+TEST(Compression, DecompressHelpers) {
+  double v = 0;
+  const std::uint64_t w = compressPointer(9, &v);
+  EXPECT_EQ(decompressAddr<double>(w), &v);
+  EXPECT_EQ(decompressLocale(w), 9u);
+}
+
+// Property sweep: synthetic 48-bit addresses x random locales.
+class CompressionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompressionProperty, RoundTripRandomized) {
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    // Aligned, nonzero, 48-bit addresses (like real allocations).
+    const std::uint64_t addr = (rng.next() & kVaMask & ~0xFULL) | 0x10;
+    const auto locale = static_cast<std::uint32_t>(rng.nextBelow(1u << 16));
+    const std::uint64_t word =
+        compressPointer(locale, reinterpret_cast<void*>(addr));
+    const auto d = decompressPointer(word);
+    ASSERT_EQ(reinterpret_cast<std::uint64_t>(d.addr), addr);
+    ASSERT_EQ(d.locale, locale);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace pgasnb

@@ -1,0 +1,171 @@
+// Distributed domains and arrays: index math properties and forall loops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pgasnb {
+namespace {
+
+using testing::RuntimeTest;
+
+struct DomainCase {
+  std::uint32_t locales;
+  std::uint64_t size;
+};
+
+class CyclicDomainProperty : public ::testing::TestWithParam<DomainCase> {
+ protected:
+  void SetUp() override {
+    runtime_ = std::make_unique<Runtime>(
+        pgasnb::testing::testConfig(GetParam().locales));
+  }
+  std::unique_ptr<Runtime> runtime_;
+};
+
+TEST_P(CyclicDomainProperty, CountsSumToSize) {
+  CyclicDomain dom(GetParam().size);
+  std::uint64_t total = 0;
+  for (std::uint32_t l = 0; l < dom.numLocales(); ++l) {
+    total += dom.localCount(l);
+  }
+  EXPECT_EQ(total, dom.size());
+}
+
+TEST_P(CyclicDomainProperty, GlobalIndexInvertsOwnership) {
+  CyclicDomain dom(GetParam().size);
+  for (std::uint32_t l = 0; l < dom.numLocales(); ++l) {
+    for (std::uint64_t k = 0; k < dom.localCount(l); ++k) {
+      const std::uint64_t g = dom.globalIndex(l, k);
+      ASSERT_LT(g, dom.size());
+      ASSERT_EQ(dom.localeOf(g), l);
+    }
+  }
+}
+
+TEST_P(CyclicDomainProperty, BlockCountsSumToSize) {
+  BlockDomain dom(GetParam().size);
+  std::uint64_t total = 0;
+  for (std::uint32_t l = 0; l < dom.numLocales(); ++l) {
+    total += dom.localCount(l);
+    // blocks are contiguous and ordered
+    EXPECT_LE(dom.blockLo(l), dom.blockHi(l));
+  }
+  EXPECT_EQ(total, dom.size());
+}
+
+TEST_P(CyclicDomainProperty, BlockLocaleOfIsConsistent) {
+  BlockDomain dom(GetParam().size);
+  for (std::uint64_t i = 0; i < dom.size(); ++i) {
+    const std::uint32_t l = dom.localeOf(i);
+    ASSERT_GE(i, dom.blockLo(l));
+    ASSERT_LT(i, dom.blockHi(l));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CyclicDomainProperty,
+    ::testing::Values(DomainCase{1, 1}, DomainCase{1, 100}, DomainCase{2, 7},
+                      DomainCase{3, 9}, DomainCase{4, 10}, DomainCase{4, 3},
+                      DomainCase{5, 0}, DomainCase{8, 1000}),
+    [](const ::testing::TestParamInfo<DomainCase>& info) {
+      return std::to_string(info.param.locales) + "loc_" +
+             std::to_string(info.param.size) + "elems";
+    });
+
+class DistArrayTest : public RuntimeTest {};
+
+TEST_F(DistArrayTest, ElementsLiveOnOwningLocale) {
+  startRuntime(4);
+  CyclicArray<std::uint64_t> arr(64);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(localeOf(&arr[i]), arr.domain().localeOf(i)) << "index " << i;
+  }
+}
+
+TEST_F(DistArrayTest, ElementAccessReadsAndWrites) {
+  startRuntime(3);
+  CyclicArray<std::uint64_t> arr(30);
+  for (std::uint64_t i = 0; i < 30; ++i) arr[i] = i * i;
+  for (std::uint64_t i = 0; i < 30; ++i) EXPECT_EQ(arr[i], i * i);
+}
+
+TEST_F(DistArrayTest, ForallTasksVisitsEveryElementOnOwner) {
+  startRuntime(4);
+  constexpr std::uint64_t kN = 400;
+  CyclicArray<std::uint64_t> arr(kN);
+  std::vector<std::atomic<std::uint32_t>> visits(kN);
+  arr.forallTasks(
+      2, [] { return 0; },
+      [&](int&, std::uint64_t i, std::uint64_t& elem) {
+        visits[i].fetch_add(1);
+        elem = Runtime::here();
+      });
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1u) << "index " << i;
+    EXPECT_EQ(arr[i], arr.domain().localeOf(i)) << "body ran off-owner";
+  }
+}
+
+TEST_F(DistArrayTest, ForallTasksRunsInitPerTask) {
+  startRuntime(2);
+  CyclicArray<int> arr(100);
+  std::atomic<int> inits{0};
+  arr.forallTasks(
+      3, [&inits] { return inits.fetch_add(1); },
+      [](int&, std::uint64_t, int&) {});
+  EXPECT_EQ(inits.load(), 2 * 3);  // locales x tasks_per_locale
+}
+
+TEST_F(DistArrayTest, BlockArrayOwnershipMatchesDomain) {
+  startRuntime(4);
+  BlockArray<int> arr(41);
+  for (std::uint64_t i = 0; i < 41; ++i) {
+    EXPECT_EQ(localeOf(&arr[i]), arr.domain().localeOf(i));
+  }
+}
+
+TEST_F(DistArrayTest, DestroyReturnsArenaMemory) {
+  startRuntime(2);
+  std::vector<std::uint64_t> live_before;
+  for (std::uint32_t l = 0; l < 2; ++l) {
+    live_before.push_back(runtime_->locale(l).arena().liveBlocks());
+  }
+  {
+    CyclicArray<std::uint64_t> arr(128);
+    EXPECT_GT(runtime_->locale(0).arena().liveBlocks(), live_before[0]);
+  }
+  for (std::uint32_t l = 0; l < 2; ++l) {
+    EXPECT_EQ(runtime_->locale(l).arena().liveBlocks(), live_before[l]);
+  }
+}
+
+TEST_F(DistArrayTest, NonTrivialElementTypes) {
+  startRuntime(2);
+  struct Widget {
+    std::uint64_t a = 7;
+    std::uint64_t b = 9;
+  };
+  CyclicArray<Widget> arr(20);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(arr[i].a, 7u);
+    EXPECT_EQ(arr[i].b, 9u);
+  }
+}
+
+TEST_F(DistArrayTest, SingleLocaleDegenerateCase) {
+  startRuntime(1);
+  CyclicArray<int> arr(10);
+  std::atomic<int> sum{0};
+  arr.forallTasks(
+      2, [] { return 0; },
+      [&sum](int&, std::uint64_t i, int&) {
+        sum.fetch_add(static_cast<int>(i));
+      });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+}  // namespace
+}  // namespace pgasnb

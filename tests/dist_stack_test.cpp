@@ -1,0 +1,182 @@
+// DistStack: the global-view distributed Treiber stack (paper Listing 1
+// on distributed building blocks).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "test_support.hpp"
+
+namespace pgasnb {
+namespace {
+
+using testing::RuntimeParamTest;
+using testing::RuntimeTest;
+
+class DistStackModeTest : public RuntimeParamTest {};
+
+TEST_P(DistStackModeTest, PushPopSingleLocaleView) {
+  EpochManager em = EpochManager::create();
+  auto* stack = DistStack<std::uint64_t>::create(em);
+  EpochToken tok = em.registerTask();
+  tok.pin();
+  EXPECT_TRUE(stack->emptyApprox());
+  stack->push(tok, 11);
+  stack->push(tok, 22);
+  EXPECT_EQ(*stack->pop(tok), 22u);
+  EXPECT_EQ(*stack->pop(tok), 11u);
+  EXPECT_FALSE(stack->pop(tok).has_value());
+  tok.unpin();
+  tok.reset();
+  DistStack<std::uint64_t>::destroy(stack);
+  em.destroy();
+}
+
+TEST_P(DistStackModeTest, EveryLocalePushesAndDrainConserves) {
+  EpochManager em = EpochManager::create();
+  auto* stack = DistStack<std::uint64_t>::create(em);
+  constexpr std::uint64_t kPerLocale = 200;
+  const std::uint64_t nloc = runtime_->numLocales();
+
+  coforallLocales([em, stack] {
+    EpochToken tok = em.registerTask();
+    tok.pin();
+    const std::uint64_t base = Runtime::here() * kPerLocale;
+    for (std::uint64_t i = 0; i < kPerLocale; ++i) {
+      stack->push(tok, base + i);
+    }
+    tok.unpin();
+  });
+
+  // Drain from locale 0 and verify each value shows up exactly once.
+  std::set<std::uint64_t> seen;
+  {
+    EpochToken tok = em.registerTask();
+    tok.pin();
+    while (auto v = stack->pop(tok)) {
+      EXPECT_TRUE(seen.insert(*v).second) << "duplicate " << *v;
+    }
+    tok.unpin();
+  }
+  EXPECT_EQ(seen.size(), kPerLocale * nloc);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), kPerLocale * nloc - 1);
+
+  DistStack<std::uint64_t>::destroy(stack);
+  em.destroy();
+}
+
+TEST_P(DistStackModeTest, ConcurrentMixedOpsConserve) {
+  EpochManager em = EpochManager::create();
+  auto* stack = DistStack<std::uint64_t>::create(em);
+  constexpr int kIters = 150;
+  std::atomic<std::uint64_t> popped{0};
+  std::atomic<std::uint64_t> pushed{0};
+
+  coforallLocales([em, stack, &popped, &pushed] {
+    EpochToken tok = em.registerTask();
+    Xoshiro256 rng(Runtime::here() * 7 + 3);
+    for (int i = 0; i < kIters; ++i) {
+      tok.pin();
+      if (rng.nextBool(0.6)) {
+        stack->push(tok, rng.next());
+        pushed.fetch_add(1, std::memory_order_relaxed);
+      } else if (stack->pop(tok).has_value()) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+      tok.unpin();
+      if ((i & 63) == 0) tok.tryReclaim();
+    }
+  });
+
+  std::uint64_t rest = 0;
+  {
+    EpochToken tok = em.registerTask();
+    tok.pin();
+    while (stack->pop(tok).has_value()) ++rest;
+    tok.unpin();
+  }
+  EXPECT_EQ(popped.load() + rest, pushed.load());
+
+  DistStack<std::uint64_t>::destroy(stack);
+  em.destroy();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DistStackModeTest, PGASNB_RUNTIME_PARAMS,
+                         pgasnb::testing::paramName);
+
+class DistStackTest : public RuntimeTest {};
+
+TEST_F(DistStackTest, NodesLiveOnPushingLocale) {
+  startRuntime(4);
+  EpochManager em = EpochManager::create();
+  auto* stack = DistStack<std::uint64_t>::create(em);
+  coforallLocales([em, stack] {
+    EpochToken tok = em.registerTask();
+    tok.pin();
+    stack->push(tok, Runtime::here());
+    tok.unpin();
+  });
+  // Walk the chain: each node's owner must equal the value pushed by it.
+  EpochToken tok = em.registerTask();
+  tok.pin();
+  std::set<std::uint32_t> owners;
+  for (int i = 0; i < 4; ++i) {
+    auto v = stack->pop(tok);
+    ASSERT_TRUE(v.has_value());
+    owners.insert(static_cast<std::uint32_t>(*v));
+  }
+  tok.unpin();
+  EXPECT_EQ(owners.size(), 4u) << "one node per locale";
+  tok.reset();
+  DistStack<std::uint64_t>::destroy(stack);
+  em.destroy();
+}
+
+TEST_F(DistStackTest, ReclaimShipsNodesHome) {
+  startRuntime(3);
+  EpochManager em = EpochManager::create();
+  auto* stack = DistStack<std::uint64_t>::create(em);
+  std::vector<std::uint64_t> live_before(3);
+  for (std::uint32_t l = 0; l < 3; ++l) {
+    live_before[l] = runtime_->locale(l).arena().liveBlocks();
+  }
+  // Push from every locale, pop everything from locale 0, then reclaim:
+  // node frees must land back on the pushing locales' arenas (no aborts
+  // from the owner assert = scatter worked).
+  coforallLocales([em, stack] {
+    EpochToken tok = em.registerTask();
+    tok.pin();
+    for (int i = 0; i < 64; ++i) stack->push(tok, i);
+    tok.unpin();
+  });
+  {
+    EpochToken tok = em.registerTask();
+    tok.pin();
+    while (stack->pop(tok).has_value()) {
+    }
+    tok.unpin();
+  }
+  em.clear();
+  const auto s = em.stats();
+  EXPECT_EQ(s.deferred, 3u * 64u);
+  EXPECT_EQ(s.reclaimed, s.deferred);
+  DistStack<std::uint64_t>::destroy(stack);
+  em.destroy();
+  // Allow pooled limbo nodes/tokens to remain; payload nodes must be gone.
+  for (std::uint32_t l = 0; l < 3; ++l) {
+    EXPECT_LE(runtime_->locale(l).arena().liveBlocks(), live_before[l] + 80);
+  }
+}
+
+TEST_F(DistStackTest, HeadPlacementIsConfigurable) {
+  startRuntime(3);
+  EpochManager em = EpochManager::create();
+  auto* stack = DistStack<std::uint64_t>::create(em, /*home=*/2);
+  EXPECT_EQ(localeOf(stack), 2u);
+  DistStack<std::uint64_t>::destroy(stack);
+  em.destroy();
+}
+
+}  // namespace
+}  // namespace pgasnb

@@ -1,0 +1,196 @@
+// Harris ordered list: set/map semantics, logical deletion, EBR reclaim.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/harris_list.hpp"
+#include "util/rng.hpp"
+
+namespace pgasnb {
+namespace {
+
+using List = HarrisList<std::uint64_t, std::uint64_t>;
+
+TEST(HarrisList, EmptyFindsNothing) {
+  LocalEpochManager em;
+  List list;
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  EXPECT_FALSE(list.find(tok, 5).has_value());
+  EXPECT_FALSE(list.contains(tok, 0));
+  tok.unpin();
+}
+
+TEST(HarrisList, InsertThenFind) {
+  LocalEpochManager em;
+  List list;
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  EXPECT_TRUE(list.insert(tok, 10, 100));
+  EXPECT_TRUE(list.insert(tok, 5, 50));
+  EXPECT_TRUE(list.insert(tok, 20, 200));
+  EXPECT_EQ(*list.find(tok, 10), 100u);
+  EXPECT_EQ(*list.find(tok, 5), 50u);
+  EXPECT_EQ(*list.find(tok, 20), 200u);
+  EXPECT_FALSE(list.find(tok, 15).has_value());
+  EXPECT_EQ(list.sizeApprox(), 3u);
+  tok.unpin();
+}
+
+TEST(HarrisList, DuplicateInsertRejected) {
+  LocalEpochManager em;
+  List list;
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  EXPECT_TRUE(list.insert(tok, 7, 1));
+  EXPECT_FALSE(list.insert(tok, 7, 2));
+  EXPECT_EQ(*list.find(tok, 7), 1u) << "original value preserved";
+  EXPECT_EQ(list.sizeApprox(), 1u);
+  tok.unpin();
+}
+
+TEST(HarrisList, RemoveReturnsValue) {
+  LocalEpochManager em;
+  List list;
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  list.insert(tok, 1, 11);
+  list.insert(tok, 2, 22);
+  auto removed = list.remove(tok, 1);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, 11u);
+  EXPECT_FALSE(list.contains(tok, 1));
+  EXPECT_TRUE(list.contains(tok, 2));
+  EXPECT_FALSE(list.remove(tok, 1).has_value()) << "double remove";
+  tok.unpin();
+}
+
+TEST(HarrisList, ReinsertAfterRemove) {
+  LocalEpochManager em;
+  List list;
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  list.insert(tok, 9, 90);
+  list.remove(tok, 9);
+  EXPECT_TRUE(list.insert(tok, 9, 91));
+  EXPECT_EQ(*list.find(tok, 9), 91u);
+  tok.unpin();
+}
+
+TEST(HarrisList, BoundaryKeys) {
+  LocalEpochManager em;
+  List list;
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  EXPECT_TRUE(list.insert(tok, 0, 1));
+  EXPECT_TRUE(list.insert(tok, ~std::uint64_t{0} - 1, 2));
+  EXPECT_TRUE(list.contains(tok, 0));
+  EXPECT_TRUE(list.contains(tok, ~std::uint64_t{0} - 1));
+  tok.unpin();
+}
+
+TEST(HarrisList, RemovedNodesFlowThroughEpochManager) {
+  LocalEpochManager em;
+  {
+    List list;
+    LocalEpochToken tok = em.registerTask();
+    tok.pin();
+    for (std::uint64_t k = 0; k < 40; ++k) list.insert(tok, k, k);
+    for (std::uint64_t k = 0; k < 40; ++k) list.remove(tok, k);
+    tok.unpin();
+    tok.reset();
+    EXPECT_EQ(em.stats().deferred, 40u);
+    em.clear();
+    EXPECT_EQ(em.stats().reclaimed, 40u);
+  }
+}
+
+TEST(HarrisList, ConcurrentInsertsAllLand) {
+  LocalEpochManager em;
+  List list;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      LocalEpochToken tok = em.registerTask();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        tok.pin();
+        EXPECT_TRUE(list.insert(tok, t * kPerThread + i, i));
+        tok.unpin();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  for (std::uint64_t k = 0; k < kThreads * kPerThread; ++k) {
+    ASSERT_TRUE(list.contains(tok, k)) << "missing key " << k;
+  }
+  tok.unpin();
+  EXPECT_EQ(list.sizeApprox(), kThreads * kPerThread);
+}
+
+TEST(HarrisList, ConcurrentMixedChurnStaysConsistent) {
+  LocalEpochManager em;
+  List list;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 8000;
+  constexpr std::uint64_t kKeySpace = 256;
+  std::atomic<long> net_inserts{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      LocalEpochToken tok = em.registerTask();
+      Xoshiro256 rng(t * 31 + 1);
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t key = rng.nextBelow(kKeySpace);
+        tok.pin();
+        if (rng.nextBool(0.5)) {
+          if (list.insert(tok, key, key)) net_inserts.fetch_add(1);
+        } else {
+          if (list.remove(tok, key).has_value()) net_inserts.fetch_sub(1);
+        }
+        tok.unpin();
+        if ((i & 255) == 0) tok.tryReclaim();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // The list's contents must equal the net insert count, and every present
+  // key maps to itself.
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  long present = 0;
+  for (std::uint64_t k = 0; k < kKeySpace; ++k) {
+    if (auto v = list.find(tok, k)) {
+      EXPECT_EQ(*v, k);
+      ++present;
+    }
+  }
+  tok.unpin();
+  EXPECT_EQ(present, net_inserts.load());
+  tok.reset();
+  em.clear();
+  EXPECT_EQ(em.stats().reclaimed, em.stats().deferred);
+}
+
+TEST(HarrisList, StringValues) {
+  LocalEpochManager em;
+  HarrisList<std::uint64_t, std::string> list;
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  list.insert(tok, 1, "one");
+  list.insert(tok, 2, "two");
+  EXPECT_EQ(*list.find(tok, 2), "two");
+  EXPECT_EQ(*list.remove(tok, 1), "one");
+  tok.unpin();
+}
+
+}  // namespace
+}  // namespace pgasnb

@@ -1,0 +1,191 @@
+// End-to-end integration: the paper's usage patterns, whole-stack.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "test_support.hpp"
+
+namespace pgasnb {
+namespace {
+
+using testing::RuntimeTest;
+
+class IntegrationTest : public RuntimeTest {};
+
+TEST_F(IntegrationTest, PaperListing3UsagePattern) {
+  // var em = new EpochManager();
+  // Serial: register/pin/unpin/unregister.
+  // Parallel+distributed: forall with task-private tokens; em.clear().
+  startRuntime(4);
+  EpochManager em = EpochManager::create();
+
+  {
+    EpochToken tok = em.registerTask();
+    tok.pin();
+    tok.unpin();
+  }  // automatic unregister
+
+  struct C {
+    std::uint64_t bits = 0xabcdef;
+  };
+  CyclicArray<C*> objs(128);
+  for (std::uint64_t i = 0; i < objs.size(); ++i) {
+    objs[i] = gnewOn<C>(objs.domain().localeOf(i));
+  }
+  objs.forallTasks(
+      2, [em] { return em.registerTask(); },
+      [](EpochToken& tok, std::uint64_t, C*& x) {
+        tok.pin();
+        tok.deferDelete(x);
+        x = nullptr;
+        tok.unpin();
+      });  // automatic unregister per task
+  em.clear();  // Reclaim everything at once.
+  EXPECT_EQ(em.stats().reclaimed, 128u);
+  em.destroy();
+}
+
+TEST_F(IntegrationTest, PaperListing5Microbenchmark) {
+  // The EpochManager microbenchmark: randomized object locales, periodic
+  // tryReclaim, final clear -- the shape of Figures 4-6.
+  startRuntime(4);
+  EpochManager em = EpochManager::create();
+  constexpr std::uint64_t kNumObjects = 1024;
+
+  struct C {
+    std::uint64_t payload[2] = {1, 2};
+  };
+  CyclicArray<C*> objs(kNumObjects);
+  Xoshiro256 rng(42);
+  const std::uint32_t nloc = runtime_->numLocales();
+  for (std::uint64_t i = 0; i < kNumObjects; ++i) {
+    // randomizeObjs: allocate each object on a random locale.
+    objs[i] = gnewOn<C>(static_cast<std::uint32_t>(rng.nextBelow(nloc)));
+  }
+
+  objs.forallTasks(
+      2, [em] { return std::pair<EpochToken, int>(em.registerTask(), 0); },
+      [](auto& state, std::uint64_t, C*& obj) {
+        auto& [tok, m] = state;
+        tok.pin();
+        tok.deferDelete(obj);
+        obj = nullptr;
+        tok.unpin();
+        if (++m % 64 == 0) tok.tryReclaim();  // perIteration = 64
+      });
+
+  em.clear();
+  const auto s = em.stats();
+  EXPECT_EQ(s.deferred, kNumObjects);
+  EXPECT_EQ(s.reclaimed, kNumObjects);
+  em.destroy();
+}
+
+TEST_F(IntegrationTest, DistributedWorkQueueOverDistStack) {
+  // Producer/consumer across locales: locale 0 produces work items, all
+  // locales consume and accumulate; EBR reclaims the nodes.
+  startRuntime(4);
+  EpochManager em = EpochManager::create();
+  auto* stack = DistStack<std::uint64_t>::create(em);
+  constexpr std::uint64_t kItems = 400;
+
+  {
+    EpochToken tok = em.registerTask();
+    tok.pin();
+    for (std::uint64_t i = 1; i <= kItems; ++i) stack->push(tok, i);
+    tok.unpin();
+  }
+
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> count{0};
+  coforallLocales([em, stack, &sum, &count] {
+    EpochToken tok = em.registerTask();
+    while (true) {
+      tok.pin();
+      auto item = stack->pop(tok);
+      tok.unpin();
+      if (!item.has_value()) break;
+      sum.fetch_add(*item, std::memory_order_relaxed);
+      count.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(count.load(), kItems);
+  EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2);
+
+  DistStack<std::uint64_t>::destroy(stack);
+  em.destroy();
+}
+
+TEST_F(IntegrationTest, HashTableAndStackShareOneEpochManager) {
+  startRuntime(3);
+  EpochManager em = EpochManager::create();
+  auto table = InterlockedHashTable<std::uint64_t>::create(32, em);
+  auto* stack = DistStack<std::uint64_t>::create(em);
+
+  coforallLocales([em, table, stack] {
+    EpochToken tok = em.registerTask();
+    const std::uint64_t base = Runtime::here() * 1000;
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      table.insert(base + i, i);
+      tok.pin();
+      stack->push(tok, base + i);
+      tok.unpin();
+    }
+    tok.tryReclaim();
+  });
+
+  EXPECT_EQ(table.sizeApprox(), 150u);
+  std::uint64_t drained = 0;
+  {
+    EpochToken tok = em.registerTask();
+    tok.pin();
+    while (stack->pop(tok).has_value()) ++drained;
+    tok.unpin();
+  }
+  EXPECT_EQ(drained, 150u);
+
+  DistStack<std::uint64_t>::destroy(stack);
+  table.destroy();
+  em.destroy();
+}
+
+TEST_F(IntegrationTest, CommModesProduceIdenticalResults) {
+  // Functional equivalence: ugni vs none must differ only in cost.
+  std::uint64_t results[2] = {0, 0};
+  int idx = 0;
+  for (const CommMode mode : {CommMode::none, CommMode::ugni}) {
+    startRuntime(3, mode);
+    EpochManager em = EpochManager::create();
+    auto table = InterlockedHashTable<std::uint64_t>::create(16, em);
+    for (std::uint64_t k = 0; k < 100; ++k) table.insert(k, k * 3);
+    for (std::uint64_t k = 0; k < 100; k += 3) table.erase(k);
+    std::uint64_t checksum = 0;
+    for (std::uint64_t k = 0; k < 100; ++k) {
+      if (auto v = table.find(k)) checksum += *v + k;
+    }
+    results[idx++] = checksum;
+    table.destroy();
+    em.destroy();
+    TearDown();
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST_F(IntegrationTest, SimulatedTimeIsDeterministicEnough) {
+  // Two identical single-task runs must charge identical model time
+  // (the model is deterministic when there is no cross-task contention).
+  std::uint64_t elapsed[2];
+  for (int round = 0; round < 2; ++round) {
+    startRuntime(2, CommMode::ugni);
+    DistAtomicU64* a = gnewOn<DistAtomicU64>(1, 0u);
+    sim::setNow(0);
+    for (int i = 0; i < 100; ++i) a->fetchAdd(1);
+    elapsed[round] = sim::now();
+    onLocale(1, [a] { gdelete(a); });
+    TearDown();
+  }
+  EXPECT_EQ(elapsed[0], elapsed[1]);
+}
+
+}  // namespace
+}  // namespace pgasnb

@@ -1,0 +1,167 @@
+// Michael-Scott queue: FIFO semantics and MPMC conservation with EBR.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/ms_queue.hpp"
+
+namespace pgasnb {
+namespace {
+
+TEST(MsQueue, EmptyDequeuesNothing) {
+  LocalEpochManager em;
+  MsQueue<int> q(em);
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  EXPECT_TRUE(q.emptyApprox());
+  EXPECT_FALSE(q.dequeue(tok).has_value());
+  tok.unpin();
+}
+
+TEST(MsQueue, FifoOrder) {
+  LocalEpochManager em;
+  MsQueue<int> q(em);
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  for (int i = 0; i < 100; ++i) q.enqueue(tok, i);
+  for (int i = 0; i < 100; ++i) {
+    auto v = q.dequeue(tok);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.dequeue(tok).has_value());
+  tok.unpin();
+}
+
+TEST(MsQueue, InterleavedEnqueueDequeue) {
+  LocalEpochManager em;
+  MsQueue<int> q(em);
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  q.enqueue(tok, 1);
+  q.enqueue(tok, 2);
+  EXPECT_EQ(*q.dequeue(tok), 1);
+  q.enqueue(tok, 3);
+  EXPECT_EQ(*q.dequeue(tok), 2);
+  EXPECT_EQ(*q.dequeue(tok), 3);
+  tok.unpin();
+}
+
+TEST(MsQueue, RequiresPinnedToken) {
+  LocalEpochManager em;
+  MsQueue<int> q(em);
+  LocalEpochToken tok = em.registerTask();
+  EXPECT_DEATH(q.enqueue(tok, 1), "pinned");
+}
+
+TEST(MsQueue, DequeuedDummiesAreDeferred) {
+  LocalEpochManager em;
+  MsQueue<int> q(em);
+  {
+    LocalEpochToken tok = em.registerTask();
+    tok.pin();
+    for (int i = 0; i < 20; ++i) q.enqueue(tok, i);
+    for (int i = 0; i < 20; ++i) (void)q.dequeue(tok);
+    tok.unpin();
+  }
+  EXPECT_EQ(em.stats().deferred, 20u);
+  em.clear();
+  EXPECT_EQ(em.stats().reclaimed, 20u);
+}
+
+TEST(MsQueue, MpmcConservation) {
+  LocalEpochManager em;
+  MsQueue<long> q(em);
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 20000;
+  std::atomic<long> consumed_sum{0};
+  std::atomic<long> consumed_count{0};
+  std::atomic<int> producers_done{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      LocalEpochToken tok = em.registerTask();
+      for (int i = 0; i < kPerProducer; ++i) {
+        tok.pin();
+        q.enqueue(tok, static_cast<long>(p) * kPerProducer + i);
+        tok.unpin();
+      }
+      producers_done.fetch_add(1);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      LocalEpochToken tok = em.registerTask();
+      while (true) {
+        tok.pin();
+        auto v = q.dequeue(tok);
+        tok.unpin();
+        if (v.has_value()) {
+          consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else if (producers_done.load() == kProducers) {
+          // Drain once more to close the race between the emptiness check
+          // and the last enqueue.
+          tok.pin();
+          v = q.dequeue(tok);
+          tok.unpin();
+          if (!v.has_value()) break;
+          consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        }
+        if ((consumed_count.load(std::memory_order_relaxed) & 255) == 0) {
+          tok.tryReclaim();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const long total = static_cast<long>(kProducers) * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), total);
+  EXPECT_EQ(consumed_sum.load(), total * (total - 1) / 2);
+  em.clear();
+  EXPECT_EQ(em.stats().reclaimed, em.stats().deferred);
+}
+
+TEST(MsQueue, PerElementFifoPerProducer) {
+  // Single consumer: elements from each producer must arrive in that
+  // producer's order (FIFO is per-queue; per-producer order is implied).
+  LocalEpochManager em;
+  MsQueue<std::pair<int, int>> q(em);
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      LocalEpochToken tok = em.registerTask();
+      for (int i = 0; i < kPerProducer; ++i) {
+        tok.pin();
+        q.enqueue(tok, {p, i});
+        tok.unpin();
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+
+  LocalEpochToken tok = em.registerTask();
+  std::vector<int> next_expected(kProducers, 0);
+  tok.pin();
+  while (auto v = q.dequeue(tok)) {
+    const auto [p, i] = *v;
+    EXPECT_EQ(i, next_expected[p]) << "per-producer order violated";
+    next_expected[p] = i + 1;
+  }
+  tok.unpin();
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer);
+  }
+}
+
+}  // namespace
+}  // namespace pgasnb

@@ -1,0 +1,159 @@
+// Simulated-time accounting: charging, max-joins, and queueing shapes.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace pgasnb {
+namespace {
+
+using testing::RuntimeTest;
+
+class SimClockTest : public RuntimeTest {};
+
+TEST_F(SimClockTest, ChargeAdvancesTaskClock) {
+  startRuntime(1);
+  const std::uint64_t t0 = sim::now();
+  sim::charge(500);
+  EXPECT_EQ(sim::now(), t0 + 500);
+  sim::chargeModelOnly(250);
+  EXPECT_EQ(sim::now(), t0 + 750);
+}
+
+TEST_F(SimClockTest, JoinAtLeastOnlyMovesForward) {
+  startRuntime(1);
+  sim::setNow(1000);
+  sim::joinAtLeast(400);
+  EXPECT_EQ(sim::now(), 1000u);
+  sim::joinAtLeast(2000);
+  EXPECT_EQ(sim::now(), 2000u);
+}
+
+TEST_F(SimClockTest, ChildTaskStartsAfterSpawnCost) {
+  startRuntime(2);
+  sim::setNow(0);
+  const auto& lat = runtime_->config().latency;
+  std::uint64_t child_start = 0;
+  onLocale(1, [&child_start] { child_start = sim::now(); });
+  // Remote spawn: wire + remote task spawn.
+  EXPECT_GE(child_start, lat.am_wire_ns + lat.remote_task_spawn_ns);
+}
+
+TEST_F(SimClockTest, JoinFoldsChildTimeIntoParent) {
+  startRuntime(2);
+  sim::setNow(0);
+  onLocale(1, [] { sim::charge(50000); });
+  // Parent must now be past the child's 50us of simulated work.
+  EXPECT_GE(sim::now(), 50000u);
+}
+
+TEST_F(SimClockTest, CoforallTakesMaxNotSum) {
+  startRuntime(4);
+  sim::setNow(0);
+  coforallLocales([] {
+    // Every locale does the same 100us of simulated work.
+    sim::charge(100000);
+  });
+  const std::uint64_t elapsed = sim::now();
+  EXPECT_GE(elapsed, 100000u);
+  // Parallel: far less than the serialized 400us (allow generous spawn
+  // overheads, but the whole point is max-join, not sum-join).
+  EXPECT_LT(elapsed, 250000u);
+}
+
+TEST_F(SimClockTest, WeakScalingIsFlatInModelTime) {
+  // The property the paper's figures rely on: constant per-locale work =>
+  // roughly constant simulated elapsed time as locales grow.
+  std::uint64_t elapsed2 = 0, elapsed8 = 0;
+  {
+    startRuntime(2);
+    sim::setNow(0);
+    coforallLocales([] { sim::charge(200000); });
+    elapsed2 = sim::now();
+  }
+  TearDown();
+  {
+    startRuntime(8);
+    sim::setNow(0);
+    coforallLocales([] { sim::charge(200000); });
+    elapsed8 = sim::now();
+  }
+  EXPECT_LT(elapsed8, elapsed2 * 2)
+      << "8-locale run should not be ~4x the 2-locale run in model time";
+}
+
+TEST_F(SimClockTest, AmServiceSerializesInModelTime) {
+  startRuntime(2);
+  const auto& lat = runtime_->config().latency;
+  sim::setNow(0);
+  // Send k sync AMs to locale 1 back-to-back from this task; each round
+  // trip costs at least wire + service + wire.
+  constexpr int k = 5;
+  for (int i = 0; i < k; ++i) {
+    comm::amSync(1, [] {});
+  }
+  EXPECT_GE(sim::now(), k * (2 * lat.am_wire_ns + lat.am_service_ns));
+}
+
+TEST_F(SimClockTest, ProgressThreadQueueingBacklogs) {
+  startRuntime(2, CommMode::none, 4);
+  const auto& lat = runtime_->config().latency;
+  // Four tasks hammer locale 1's progress thread concurrently; FIFO
+  // service means the *max* completion time reflects the queue, i.e. it
+  // exceeds one isolated round trip.
+  constexpr int kPerTask = 8;
+  std::atomic<std::uint64_t> max_end{0};
+  coforallHere(4, [&](std::uint32_t) {
+    sim::setNow(0);
+    for (int i = 0; i < kPerTask; ++i) comm::amSync(1, [] {});
+    std::uint64_t end = sim::now();
+    std::uint64_t cur = max_end.load();
+    while (end > cur && !max_end.compare_exchange_weak(cur, end)) {
+    }
+  });
+  const std::uint64_t isolated =
+      kPerTask * (2 * lat.am_wire_ns + lat.am_service_ns);
+  EXPECT_GT(max_end.load(), isolated)
+      << "4 competing tasks must observe queueing delay at the progress "
+         "thread";
+}
+
+TEST_F(SimClockTest, UgniAtomicsDoNotQueue) {
+  startRuntime(2, CommMode::ugni, 4);
+  const auto& lat = runtime_->config().latency;
+  DistAtomicU64* counter = gnewOn<DistAtomicU64>(1, 0u);
+  constexpr int kPerTask = 16;
+  std::atomic<std::uint64_t> max_end{0};
+  coforallHere(4, [&](std::uint32_t) {
+    sim::setNow(0);
+    for (int i = 0; i < kPerTask; ++i) counter->fetchAdd(1);
+    std::uint64_t end = sim::now();
+    std::uint64_t cur = max_end.load();
+    while (end > cur && !max_end.compare_exchange_weak(cur, end)) {
+    }
+  });
+  EXPECT_EQ(counter->peek(), 4u * kPerTask);
+  // NIC atomics don't serialize at a progress thread: each task pays its
+  // own kPerTask * nic_atomic, independent of the other tasks.
+  EXPECT_LT(max_end.load(), 3 * kPerTask * lat.nic_atomic_ns);
+  onLocale(1, [counter] { gdelete(counter); });
+}
+
+TEST(BusyWait, WaitsApproximatelyRequested) {
+  const auto t0 = std::chrono::steady_clock::now();
+  busyWaitNanos(2'000'000, 1.0);  // 2ms
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(dt).count(),
+            1900);
+}
+
+TEST(BusyWait, ZeroAndDisabledScaleReturnImmediately) {
+  const auto t0 = std::chrono::steady_clock::now();
+  busyWaitNanos(0, 1.0);
+  busyWaitNanos(10'000'000, 0.0);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(dt).count(),
+            5);
+}
+
+}  // namespace
+}  // namespace pgasnb

@@ -1,0 +1,202 @@
+// Lock-free stacks: LIFO semantics, conservation under concurrency, and
+// the EBR-protected variant.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/treiber_stack.hpp"
+
+namespace pgasnb {
+namespace {
+
+TEST(LockFreeStack, EmptyPopsNothing) {
+  LockFreeStack<int> stack;
+  EXPECT_TRUE(stack.empty());
+  EXPECT_FALSE(stack.pop().has_value());
+}
+
+TEST(LockFreeStack, LifoOrder) {
+  LockFreeStack<int> stack;
+  for (int i = 0; i < 10; ++i) stack.push(i);
+  for (int i = 9; i >= 0; --i) {
+    auto v = stack.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(LockFreeStack, SizeApproxTracksWhenQuiescent) {
+  LockFreeStack<int> stack;
+  EXPECT_EQ(stack.sizeApprox(), 0u);
+  stack.push(1);
+  stack.push(2);
+  EXPECT_EQ(stack.sizeApprox(), 2u);
+  (void)stack.pop();
+  EXPECT_EQ(stack.sizeApprox(), 1u);
+}
+
+TEST(LockFreeStack, NodesAreRecycled) {
+  LockFreeStack<int> stack;
+  stack.push(1);
+  (void)stack.pop();
+  // Push again: the freelist node should be reused; we can't observe the
+  // pointer directly, but interleaved push/pop must not grow memory --
+  // proxied by it simply working for many rounds.
+  for (int i = 0; i < 10000; ++i) {
+    stack.push(i);
+    ASSERT_EQ(*stack.pop(), i);
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(LockFreeStack, MoveOnlyValuesWork) {
+  LockFreeStack<std::unique_ptr<int>> stack;
+  stack.push(std::make_unique<int>(42));
+  auto v = stack.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 42);
+}
+
+TEST(LockFreeStack, ConcurrentPushPopConservesSum) {
+  LockFreeStack<long> stack;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<long> popped_sum{0};
+  std::atomic<long> popped_count{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stack.push(static_cast<long>(t) * kPerThread + i);
+        if ((i & 1) != 0) {
+          if (auto v = stack.pop()) {
+            popped_sum.fetch_add(*v, std::memory_order_relaxed);
+            popped_count.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  long rest_sum = 0;
+  long rest_count = 0;
+  while (auto v = stack.pop()) {
+    rest_sum += *v;
+    ++rest_count;
+  }
+  const long total = static_cast<long>(kThreads) * kPerThread;
+  EXPECT_EQ(popped_count.load() + rest_count, total);
+  EXPECT_EQ(popped_sum.load() + rest_sum, total * (total - 1) / 2);
+}
+
+TEST(LockFreeStack, ConcurrentDistinctValues) {
+  LockFreeStack<int> stack;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stack, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stack.push(t * kPerThread + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<int> seen;
+  while (auto v = stack.pop()) {
+    EXPECT_TRUE(seen.insert(*v).second) << "duplicate " << *v;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+// --- EBR-protected stack ---------------------------------------------------
+
+TEST(EbrStack, BasicLifo) {
+  LocalEpochManager em;
+  EbrStack<int> stack(em);
+  LocalEpochToken tok = em.registerTask();
+  tok.pin();
+  stack.push(tok, 1);
+  stack.push(tok, 2);
+  EXPECT_EQ(*stack.pop(tok), 2);
+  EXPECT_EQ(*stack.pop(tok), 1);
+  EXPECT_FALSE(stack.pop(tok).has_value());
+  tok.unpin();
+}
+
+TEST(EbrStack, RequiresPinnedToken) {
+  LocalEpochManager em;
+  EbrStack<int> stack(em);
+  LocalEpochToken tok = em.registerTask();
+  EXPECT_DEATH(stack.push(tok, 1), "pinned");
+}
+
+TEST(EbrStack, PoppedNodesFlowThroughEpochManager) {
+  LocalEpochManager em;
+  EbrStack<int> stack(em);
+  {
+    LocalEpochToken tok = em.registerTask();
+    tok.pin();
+    for (int i = 0; i < 50; ++i) stack.push(tok, i);
+    for (int i = 0; i < 50; ++i) (void)stack.pop(tok);
+    tok.unpin();
+  }
+  EXPECT_EQ(em.stats().deferred, 50u);
+  em.clear();
+  EXPECT_EQ(em.stats().reclaimed, 50u);
+}
+
+TEST(EbrStack, ConcurrentChurnWithReclamation) {
+  LocalEpochManager em;
+  EbrStack<long> stack(em);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::atomic<long> popped_sum{0};
+  std::atomic<long> popped_count{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      LocalEpochToken tok = em.registerTask();
+      for (int i = 0; i < kPerThread; ++i) {
+        tok.pin();
+        stack.push(tok, static_cast<long>(t) * kPerThread + i);
+        if ((i & 1) != 0) {
+          if (auto v = stack.pop(tok)) {
+            popped_sum.fetch_add(*v, std::memory_order_relaxed);
+            popped_count.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        tok.unpin();
+        if ((i & 127) == 0) tok.tryReclaim();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  LocalEpochToken tok = em.registerTask();
+  long rest_sum = 0, rest_count = 0;
+  tok.pin();
+  while (auto v = stack.pop(tok)) {
+    rest_sum += *v;
+    ++rest_count;
+  }
+  tok.unpin();
+  tok.reset();
+  em.clear();
+
+  const long total = static_cast<long>(kThreads) * kPerThread;
+  EXPECT_EQ(popped_count.load() + rest_count, total);
+  EXPECT_EQ(popped_sum.load() + rest_sum, total * (total - 1) / 2);
+  EXPECT_EQ(em.stats().reclaimed, em.stats().deferred);
+}
+
+}  // namespace
+}  // namespace pgasnb

@@ -1,0 +1,74 @@
+// WidePtr: the explicit {address, locale} wide-pointer representation.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace pgasnb {
+namespace {
+
+using testing::RuntimeTest;
+
+class WidePtrTest : public RuntimeTest {};
+
+TEST_F(WidePtrTest, DefaultIsNil) {
+  startRuntime(2);
+  WidePtr<int> p;
+  EXPECT_TRUE(p.isNil());
+  EXPECT_EQ(p.raw(), nullptr);
+}
+
+TEST_F(WidePtrTest, WidenDerivesOwnerFromAddress) {
+  startRuntime(4);
+  int* remote = gnewOn<int>(3, 9);
+  const WidePtr<int> w = widen(remote);
+  EXPECT_EQ(w.raw(), remote);
+  EXPECT_EQ(w.locale, 3u);
+  EXPECT_FALSE(w.isLocal());
+  EXPECT_EQ(*w, 9);
+  onLocale(3, [remote] { gdelete(remote); });
+}
+
+TEST_F(WidePtrTest, WidenNullIsNil) {
+  startRuntime(2);
+  EXPECT_TRUE(widen<int>(nullptr).isNil());
+}
+
+TEST_F(WidePtrTest, IsLocalFollowsTaskLocale) {
+  startRuntime(2);
+  int* on1 = gnewOn<int>(1, 5);
+  const WidePtr<int> w = widen(on1);
+  EXPECT_FALSE(w.isLocal());
+  onLocale(1, [w] { EXPECT_TRUE(w.isLocal()); });
+  onLocale(1, [on1] { gdelete(on1); });
+}
+
+TEST_F(WidePtrTest, EqualityIgnoresLocaleForNil) {
+  startRuntime(2);
+  WidePtr<int> a(nullptr, 0), b(nullptr, 1);
+  EXPECT_TRUE(a == b);
+  int x = 0;
+  WidePtr<int> c(&x, 0), d(&x, 0), e(&x, 1);
+  EXPECT_TRUE(c == d);
+  EXPECT_FALSE(c == e);
+}
+
+TEST_F(WidePtrTest, ArrowForwardsToInstance) {
+  startRuntime(2);
+  struct S {
+    int f() const { return 42; }
+  };
+  S* s = gnewOn<S>(1);
+  const WidePtr<S> w = widen(s);
+  EXPECT_EQ(w->f(), 42);
+  onLocale(1, [s] { gdelete(s); });
+}
+
+TEST_F(WidePtrTest, StackAddressesWidenToHere) {
+  startRuntime(3);
+  int local = 1;
+  EXPECT_EQ(widen(&local).locale, 0u);
+  onLocale(2, [&local] { EXPECT_EQ(widen(&local).locale, 2u); });
+}
+
+}  // namespace
+}  // namespace pgasnb
