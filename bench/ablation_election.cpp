@@ -18,29 +18,29 @@ int main(int argc, char** argv) {
   for (std::uint32_t locales : opts.localeSweep(2)) {
     {  // with the two-level FCFS election (the real tryReclaim)
       Runtime rt(benchConfig(locales, CommMode::none, opts.tasks_per_locale));
-      EpochManager manager = EpochManager::create();
+      DistDomain domain = DistDomain::create();
       const std::uint32_t tasks = opts.tasks_per_locale;
       const auto m = timed([&] {
-        coforallLocales([manager, tasks, iters_per_task] {
+        coforallLocales([domain, tasks, iters_per_task] {
           coforallHere(tasks, [&](std::uint32_t) {
-            EpochToken tok = manager.registerTask();
+            auto guard = domain.attach();
             for (std::uint64_t i = 0; i < iters_per_task; ++i) {
-              tok.tryReclaim();
+              guard.tryReclaim();
             }
           });
         });
       });
-      const auto stats = manager.stats();
+      const auto stats = domain.stats();
       table.addRow("FCFS election", locales, m,
                    "lost_local=" + std::to_string(stats.elections_lost_local) +
                        " lost_global=" +
                        std::to_string(stats.elections_lost_global));
-      manager.destroy();
+      domain.destroy();
     }
     {  // without the local election: every attempt hits the global flag
       Runtime rt(benchConfig(locales, CommMode::none, opts.tasks_per_locale));
-      EpochManager manager = EpochManager::create();
-      GlobalEpoch& global = manager.implHere().global();
+      DistDomain domain = DistDomain::create();
+      GlobalEpoch& global = domain.manager().implHere().global();
       const std::uint32_t tasks = opts.tasks_per_locale;
       const auto m = timed([&] {
         coforallLocales([&global, tasks, iters_per_task] {
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
         });
       });
       table.addRow("global flag only", locales, m);
-      manager.destroy();
+      domain.destroy();
     }
   }
   table.print();

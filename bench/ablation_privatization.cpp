@@ -19,19 +19,19 @@ int main(int argc, char** argv) {
       Runtime rt(benchConfig(locales, mode, opts.tasks_per_locale));
       const std::string suffix = std::string(" (") + toString(mode) + ")";
 
-      {  // privatized: the real EpochManager fast path
-        EpochManager manager = EpochManager::create();
+      {  // privatized: the real DistDomain fast path
+        DistDomain domain = DistDomain::create();
         const auto m = timed([&] {
-          coforallLocales([manager, iters_per_task] {
-            EpochToken tok = manager.registerTask();
+          coforallLocales([domain, iters_per_task] {
+            auto guard = domain.attach();
             for (std::uint64_t i = 0; i < iters_per_task; ++i) {
-              tok.pin();
-              tok.unpin();
+              guard.pin();
+              guard.unpin();
             }
           });
         });
         table.addRow("privatized" + suffix, locales, m);
-        manager.destroy();
+        domain.destroy();
       }
       {  // centralized: every pin/unpin touches one word on locale 0
         DistAtomicU64* central = gnewOn<DistAtomicU64>(0, 1u);

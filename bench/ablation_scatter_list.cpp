@@ -16,21 +16,19 @@ int main(int argc, char** argv) {
 
   FigureTable table("ablation-scatter-list");
   for (std::uint32_t locales : opts.localeSweep(2)) {
-    {  // scatter: the EpochManager's real reclaim path (100% remote objs)
+    {  // scatter: the DistDomain's real reclaim path (100% remote objs)
       Runtime rt(benchConfig(locales, CommMode::none, opts.tasks_per_locale));
-      EpochManager manager = EpochManager::create();
-      coforallLocales([manager, objs_per_locale, locales] {
-        EpochToken tok = manager.registerTask();
-        tok.pin();
+      DistDomain domain = DistDomain::create();
+      coforallLocales([domain, objs_per_locale, locales] {
+        auto guard = domain.pin();
         const std::uint32_t next = (Runtime::here() + 1) % locales;
         for (std::uint64_t i = 0; i < objs_per_locale; ++i) {
-          tok.deferDelete(gnewOn<Obj>(next));
+          guard.retire(gnewOn<Obj>(next));
         }
-        tok.unpin();
       });
-      const auto m = timed([&] { manager.clear(); });
+      const auto m = timed([&] { domain.clear(); });
       table.addRow("scatter + bulk delete", locales, m);
-      manager.destroy();
+      domain.destroy();
     }
     {  // naive: one remote execution per object
       Runtime rt(benchConfig(locales, CommMode::none, opts.tasks_per_locale));

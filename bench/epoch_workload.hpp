@@ -1,11 +1,11 @@
-// The EpochManager microbenchmark of paper Listing 5, shared by the
+// The reclamation microbenchmark of paper Listing 5, shared by the
 // Figure 4/5/6 benches:
 //
 //   forall obj in objs (cyclically distributed, locales randomized by a
-//   remote-object percentage) with task-private tokens:
-//     pin; deferDelete(obj); unpin;
+//   remote-object percentage) with task-private guards:
+//     pin; retire(obj); unpin;
 //     every `reclaim_every` iterations: tryReclaim
-//   finally: manager.clear()
+//   finally: domain.clear()
 #pragma once
 
 #include "bench_common.hpp"
@@ -30,7 +30,7 @@ struct BenchObject {
 inline Measurement runEpochWorkload(std::uint32_t locales, CommMode mode,
                                     const EpochWorkload& wl) {
   Runtime rt(benchConfig(locales, mode, wl.tasks_per_locale));
-  EpochManager manager = EpochManager::create();
+  DistDomain domain = DistDomain::create();
 
   const std::uint64_t num_objects = wl.objs_per_locale * locales;
   CyclicArray<BenchObject*> objs(num_objects);
@@ -55,27 +55,26 @@ inline Measurement runEpochWorkload(std::uint32_t locales, CommMode mode,
   const Measurement m = timed([&] {
     objs.forallTasks(
         wl.tasks_per_locale,
-        [manager] {
-          return std::pair<EpochToken, std::uint64_t>(manager.registerTask(),
-                                                      0);
+        [domain] {
+          return std::pair<DistGuard, std::uint64_t>(domain.attach(), 0);
         },
         [reclaim_every](auto& state, std::uint64_t, BenchObject*& obj) {
-          auto& [tok, count] = state;
-          tok.pin();
-          tok.deferDelete(obj);
+          auto& [guard, count] = state;
+          guard.pin();
+          guard.retire(obj);
           obj = nullptr;
-          tok.unpin();
+          guard.unpin();
           if (reclaim_every != 0 && ++count % reclaim_every == 0) {
-            tok.tryReclaim();
+            guard.tryReclaim();
           }
         });
-    manager.clear();  // Reclaim all remaining objects at the end.
+    domain.clear();  // Reclaim all remaining objects at the end.
   });
 
-  const auto stats = manager.stats();
+  const auto stats = domain.stats();
   PGASNB_CHECK_MSG(stats.reclaimed == num_objects,
                    "benchmark invariant: every object reclaimed");
-  manager.destroy();
+  domain.destroy();
   return m;
 }
 

@@ -17,21 +17,21 @@ int main(int argc, char** argv) {
   for (const CommMode mode : {CommMode::none, CommMode::ugni}) {
     for (std::uint32_t locales : opts.localeSweep(2)) {
       Runtime rt(benchConfig(locales, mode, opts.tasks_per_locale));
-      EpochManager manager = EpochManager::create();
+      DistDomain domain = DistDomain::create();
       const std::uint32_t tasks = opts.tasks_per_locale;
       const auto m = timed([&] {
-        coforallLocales([manager, tasks, iters_per_task] {
+        coforallLocales([domain, tasks, iters_per_task] {
           coforallHere(tasks, [&](std::uint32_t) {
-            EpochToken tok = manager.registerTask();
+            auto guard = domain.attach();
             for (std::uint64_t i = 0; i < iters_per_task; ++i) {
-              tok.pin();
-              tok.unpin();
+              guard.pin();
+              guard.unpin();
             }
           });
         });
       });
       table.addRow(toString(mode), locales, m);
-      manager.destroy();
+      domain.destroy();
     }
   }
   table.print();

@@ -4,8 +4,8 @@
 //
 // A mixed get/put/delete workload (the YCSB-ish 90/5/5 read-mostly mix)
 // runs from every locale against a bucket array distributed across all
-// locales; removed entries are reclaimed concurrently by the shared
-// EpochManager. Prints throughput and a final consistency audit.
+// locales; removed entries are reclaimed concurrently through the shared
+// DistDomain. Prints throughput and a final consistency audit.
 #include <cstdio>
 
 #include "pgasnb.hpp"
@@ -22,9 +22,9 @@ int main(int argc, char** argv) {
   const auto keys = static_cast<std::uint64_t>(opts.integer("keys", 4096));
   const auto ops = static_cast<std::uint64_t>(opts.integer("ops", 20000));
 
-  EpochManager manager = EpochManager::create();
+  DistDomain domain = DistDomain::create();
   auto store = InterlockedHashTable<std::uint64_t>::create(
-      /*num_buckets=*/keys / 4 + 1, manager);
+      /*num_buckets=*/keys / 4 + 1, domain);
 
   // Load phase: populate every key with value = key * 2.
   forallHere(keys, cfg.workers_per_locale, [&](std::uint64_t k) {
@@ -39,8 +39,8 @@ int main(int argc, char** argv) {
   // immediately after, so the audit stays simple: present => value==2*key.
   std::atomic<std::uint64_t> gets{0}, hits{0}, puts{0}, dels{0};
   const auto t0 = std::chrono::steady_clock::now();
-  coforallLocales([&, manager, store] {
-    EpochToken tok = manager.registerTask();
+  coforallLocales([&, domain, store] {
+    auto guard = domain.attach();
     Xoshiro256 rng(Runtime::here() * 0x9E3779B9 + 1);
     const std::uint64_t per_locale = ops / Runtime::get().numLocales();
     for (std::uint64_t i = 0; i < per_locale; ++i) {
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
           store.insert(key, key * 2);  // put it back, value unchanged
         }
       }
-      if (i % 512 == 0) tok.tryReclaim();
+      if (i % 512 == 0) guard.tryReclaim();
     }
   });
   const double secs =
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
     }
   });
 
-  const auto stats = manager.stats();
+  const auto stats = domain.stats();
   std::printf("mixed phase: %llu gets (%.1f%% hit), %llu puts, %llu dels in "
               "%.3fs (%.0f ops/s)\n",
               static_cast<unsigned long long>(gets.load()),
@@ -90,14 +90,14 @@ int main(int argc, char** argv) {
   std::printf("audit: %llu/%llu keys present, all values consistent\n",
               static_cast<unsigned long long>(present.load()),
               static_cast<unsigned long long>(keys));
-  std::printf("epoch manager: deferred=%llu reclaimed(after clear)=",
+  std::printf("reclaim domain: deferred=%llu reclaimed(after clear)=",
               static_cast<unsigned long long>(stats.deferred));
 
   store.destroy();
-  manager.clear();
+  domain.clear();
   std::printf("%llu\n",
-              static_cast<unsigned long long>(manager.stats().reclaimed));
-  manager.destroy();
+              static_cast<unsigned long long>(domain.stats().reclaimed));
+  domain.destroy();
   std::printf("ok\n");
   return 0;
 }

@@ -5,7 +5,7 @@
 // Locale 0 seeds a bag of integration subintervals; every locale's workers
 // grab work items concurrently from the shared non-blocking stack, compute
 // a numeric integral over their subinterval, and push partial sums into a
-// results accumulator. The EpochManager reclaims the work-item nodes --
+// results accumulator. The DistDomain reclaims the work-item nodes --
 // each on the locale that allocated it -- while consumers race.
 #include <cmath>
 #include <cstdio>
@@ -45,37 +45,35 @@ int main(int argc, char** argv) {
   Runtime rt(cfg);
   const auto items = static_cast<std::uint64_t>(opts.integer("items", 512));
 
-  EpochManager manager = EpochManager::create();
-  auto* bag = DistStack<WorkItem>::create(manager);
+  DistDomain domain = DistDomain::create();
+  auto* bag = DistStack<WorkItem>::create(domain);
 
   // Seed: locale 0 splits [0, 1] into `items` subintervals.
   {
-    EpochToken tok = manager.registerTask();
-    tok.pin();
+    auto guard = domain.pin();
     for (std::uint64_t i = 0; i < items; ++i) {
       const double lo = static_cast<double>(i) / items;
       const double hi = static_cast<double>(i + 1) / items;
-      bag->push(tok, WorkItem{lo, hi});
+      bag->push(guard, WorkItem{lo, hi});
     }
-    tok.unpin();
   }
 
   // Consume: every locale drains the shared bag; partial sums aggregate
   // into per-locale cells, then a final reduction.
   std::atomic<std::uint64_t> items_done{0};
   std::vector<CachePadded<std::atomic<double>>> partial(cfg.num_locales);
-  coforallLocales([&, manager, bag] {
-    EpochToken tok = manager.registerTask();
+  coforallLocales([&, domain, bag] {
+    auto guard = domain.attach();
     double local_sum = 0.0;
     std::uint64_t local_count = 0;
     while (true) {
-      tok.pin();
-      auto item = bag->pop(tok);
-      tok.unpin();
+      guard.pin();
+      auto item = bag->pop(guard);
+      guard.unpin();
       if (!item.has_value()) break;
       local_sum += integrate(*item);
       ++local_count;
-      if (local_count % 64 == 0) tok.tryReclaim();
+      if (local_count % 64 == 0) guard.tryReclaim();
     }
     partial[Runtime::here()]->store(local_sum, std::memory_order_relaxed);
     items_done.fetch_add(local_count, std::memory_order_relaxed);
@@ -92,12 +90,12 @@ int main(int argc, char** argv) {
 
   const bool ok =
       items_done.load() == items && std::abs(pi - M_PI) < 1e-6;
-  DistStack<WorkItem>::destroy(bag);  // drains + clears the manager
-  const auto stats = manager.stats();
+  DistStack<WorkItem>::destroy(bag);  // drains + clears the domain
+  const auto stats = domain.stats();
   std::printf("reclaimed %llu work nodes across %llu epoch advances\n",
               static_cast<unsigned long long>(stats.reclaimed),
               static_cast<unsigned long long>(stats.advances));
-  manager.destroy();
+  domain.destroy();
   std::printf(ok ? "ok\n" : "MISMATCH\n");
   return ok ? 0 : 1;
 }

@@ -3,7 +3,7 @@
 //
 //   ./examples/epoch_list_churn [--threads=T] [--seconds=S]
 //
-// This is the shared-memory face of the library (LocalEpochManager +
+// This is the shared-memory face of the library (LocalDomain +
 // HarrisList): readers traverse without locks while removers physically
 // unlink nodes; epochs guarantee no reader ever dereferences freed memory.
 // The canary check makes that guarantee observable.
@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   constexpr std::uint64_t kKeySpace = 1024;
   constexpr std::uint64_t kCanary = 0xC0FFEE;
 
-  LocalEpochManager manager;
+  LocalDomain domain;
   HarrisList<std::uint64_t, std::uint64_t> list;
 
   std::atomic<bool> stop{false};
@@ -32,22 +32,22 @@ int main(int argc, char** argv) {
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      LocalEpochToken tok = manager.registerTask();
+      auto guard = domain.attach();
       Xoshiro256 rng(t * 2654435761u + 17);
       while (!stop.load(std::memory_order_acquire)) {
         const std::uint64_t key = rng.nextBelow(kKeySpace);
         const double dice = rng.nextDouble();
-        tok.pin();
+        guard.pin();
         if (dice < 0.4) {
-          if (list.insert(tok, key, key ^ kCanary)) {
+          if (list.insert(guard, key, key ^ kCanary)) {
             inserts.fetch_add(1, std::memory_order_relaxed);
           }
         } else if (dice < 0.8) {
-          if (list.remove(tok, key).has_value()) {
+          if (list.remove(guard, key).has_value()) {
             removes.fetch_add(1, std::memory_order_relaxed);
           }
         } else {
-          if (auto v = list.find(tok, key)) {
+          if (auto v = list.find(guard, key)) {
             // Canary: a freed node would not hold key ^ kCanary anymore.
             if (*v != (key ^ kCanary)) {
               corrupt.fetch_add(1, std::memory_order_relaxed);
@@ -55,9 +55,9 @@ int main(int argc, char** argv) {
             finds.fetch_add(1, std::memory_order_relaxed);
           }
         }
-        tok.unpin();
+        guard.unpin();
         if ((inserts.load(std::memory_order_relaxed) & 255) == 0) {
-          tok.tryReclaim();
+          guard.tryReclaim();
         }
       }
     });
@@ -67,8 +67,8 @@ int main(int argc, char** argv) {
   stop.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
 
-  manager.clear();
-  const auto stats = manager.stats();
+  domain.clear();
+  const auto stats = domain.stats();
   const double total = static_cast<double>(inserts.load() + removes.load() +
                                            finds.load());
   std::printf("churn: %llu inserts, %llu removes, %llu successful finds "

@@ -1,11 +1,13 @@
-// Quickstart: the two constructs of the paper in ~60 lines.
+// Quickstart: the two constructs of the paper in ~60 lines, through the
+// unified Domain/Guard reclamation API.
 //
 //   ./examples/quickstart [--locales=N] [--comm=ugni|none]
 //
 // 1. AtomicObject: lock-free atomic operations on class instances across
 //    locales (pointer compression -> a single 64-bit word the NIC can CAS).
-// 2. EpochManager: distributed epoch-based reclamation -- defer deletions
-//    while tasks may hold references; reclaim when provably safe.
+// 2. DistDomain: distributed epoch-based reclamation -- pin a guard, retire
+//    objects while tasks may hold references, reclaim when provably safe.
+//    (Shared-memory programs use LocalDomain the same way, no runtime.)
 #include <cstdio>
 
 #include "pgasnb.hpp"
@@ -44,33 +46,31 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  // --- EpochManager: concurrent-safe reclamation (paper Listing 3) -------
-  EpochManager manager = EpochManager::create();
-  coforallLocales([manager, head] {
-    EpochToken tok = manager.registerTask();
-    tok.pin();
-    // Pop one node (it may live on any locale) and defer its deletion:
-    // no task can free it under us, and it is eventually deleted on the
-    // locale that owns it.
+  // --- DistDomain: concurrent-safe reclamation (paper Listing 3) ---------
+  DistDomain domain = DistDomain::create();
+  coforallLocales([domain, head] {
+    auto guard = domain.pin();  // register + enter the current epoch
+    // Pop one node (it may live on any locale) and retire it: no task can
+    // free it under us, and it is eventually deleted on the locale that
+    // owns it.
     while (true) {
       ABA<Node> old_head = head->readABA();
       if (old_head.isNil()) break;
       if (head->compareAndSwapABA(old_head, old_head->next)) {
-        tok.deferDelete(old_head.getObject());
+        guard.retire(old_head.getObject());
         break;
       }
     }
-    tok.unpin();
-  });  // token auto-unregisters at scope exit
-  manager.clear();  // reclaim everything at once (quiescent point)
+  });  // guard unpins + unregisters at scope exit
+  domain.clear();  // reclaim everything at once (quiescent point)
 
-  const auto stats = manager.stats();
+  const auto stats = domain.stats();
   std::printf("deferred=%llu reclaimed=%llu epoch=%llu\n",
               static_cast<unsigned long long>(stats.deferred),
               static_cast<unsigned long long>(stats.reclaimed),
-              static_cast<unsigned long long>(manager.currentGlobalEpoch()));
+              static_cast<unsigned long long>(domain.currentEpoch()));
 
-  manager.destroy();
+  domain.destroy();
   onLocale(0, [head] { gdelete(head); });
   std::printf("ok\n");
   return 0;

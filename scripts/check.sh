@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-command tier-1 verify: configure + build + ctest.
+#
+#   scripts/check.sh                 # plain build + full test suite
+#   scripts/check.sh --tsan          # same, under ThreadSanitizer
+#   scripts/check.sh --asan          # same, under AddressSanitizer
+#   PGASNB_BUILD_DIR=out scripts/check.sh   # custom build directory
+#
+# Extra arguments after the flags are forwarded to ctest, e.g.
+#   scripts/check.sh -R epoch        # only the epoch-related tests
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${PGASNB_BUILD_DIR:-build}"
+SANITIZE=""
+ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) SANITIZE="thread" ;;
+    --asan) SANITIZE="address" ;;
+    *) ARGS+=("$arg") ;;
+  esac
+done
+
+if [[ -n "$SANITIZE" ]]; then
+  BUILD_DIR="${BUILD_DIR}-${SANITIZE}"
+fi
+
+cmake -B "$BUILD_DIR" -S . -DPGASNB_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "${ARGS[@]+"${ARGS[@]}"}"

@@ -1,10 +1,13 @@
-// DistStack: a global-view distributed Treiber stack.
+// DistStack: a global-view Treiber stack over any reclaim domain.
 //
-// The paper's Listing 1 written against the *distributed* building blocks:
-// the head is an ABA-protected AtomicObject (compressed wide pointer +
-// generation count), nodes are allocated on the pushing task's locale, and
-// popped nodes are reclaimed through the distributed EpochManager -- whose
-// scatter lists ship each node back to its owning locale for deallocation.
+// The paper's Listing 1 written against the building blocks the Domain
+// selects: with DistDomain the head is an ABA-protected AtomicObject
+// (compressed wide pointer + generation count), nodes are allocated on the
+// pushing task's locale, popped nodes are fetched with an RDMA GET and
+// reclaimed through the distributed EpochManager -- whose scatter lists
+// ship each node back to its owning locale for deallocation. With
+// LocalDomain the same algorithm degenerates to a shared-memory EBR stack
+// (processor atomics, heap nodes, direct loads instead of GETs).
 //
 // Any locale may push/pop concurrently; this is the canonical "truly
 // scalable algorithm" the two constructs exist to enable.
@@ -14,58 +17,67 @@
 #include <optional>
 #include <type_traits>
 
-#include "atomic/atomic_object.hpp"
-#include "epoch/epoch_manager.hpp"
+#include "atomic/domain_traits.hpp"
+#include "epoch/domain.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/runtime.hpp"
 
 namespace pgasnb {
 
-template <typename T>
+template <typename T, ReclaimDomain Domain = DistDomain>
 class DistStack {
   static_assert(std::is_trivially_copyable_v<T>,
                 "DistStack elements move across locales by RDMA GET; they "
                 "must be trivially copyable");
 
  public:
+  using Guard = typename Domain::Guard;
+
   struct Node {
     T value{};
     Node* next = nullptr;
   };
 
   /// Allocate the stack on `home` (its head word lives there; remote CAS
-  /// cost follows that placement).
-  static DistStack* create(EpochManager manager, std::uint32_t home = 0) {
-    return gnewOn<DistStack>(home, manager);
+  /// cost follows that placement). `home` is ignored for a LocalDomain.
+  static DistStack* create(Domain& domain, std::uint32_t home = 0) {
+    if constexpr (Domain::kDistributed) {
+      return gnewOn<DistStack>(home, domain);
+    } else {
+      (void)home;
+      return new DistStack(domain);
+    }
   }
 
-  /// Quiescent teardown: drains remaining nodes through the epoch manager
-  /// and frees the stack shell. Caller guarantees no concurrent users.
+  /// Quiescent teardown: drains remaining nodes through the domain and
+  /// frees the stack shell. Caller guarantees no concurrent users.
   static void destroy(DistStack* stack) {
     {
-      EpochToken token = stack->manager_.registerTask();
-      token.pin();
-      while (stack->pop(token).has_value()) {
+      Guard guard = stack->domain().pin();
+      while (stack->pop(guard).has_value()) {
       }
-      token.unpin();
     }
-    stack->manager_.clear();
-    const std::uint32_t home = Runtime::get().localeOfAddress(stack);
-    onLocale(home, [stack] { gdelete(stack); });
+    stack->domain().clear();
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t home = Runtime::get().localeOfAddress(stack);
+      onLocale(home, [stack] { gdelete(stack); });
+    } else {
+      delete stack;
+    }
   }
 
-  explicit DistStack(EpochManager manager) : manager_(manager) {}
+  explicit DistStack(Domain& domain) : domain_(domain) {}
   DistStack(const DistStack&) = delete;
   DistStack& operator=(const DistStack&) = delete;
 
-  EpochManager manager() const noexcept { return manager_; }
+  Domain& domain() const noexcept { return domain_.get(); }
 
   /// Paper Listing 1. The node is allocated on the *calling* locale, so a
   /// distributed workload naturally interleaves owners -- which is what
   /// the EpochManager's scatter lists are for.
-  void push(EpochToken& token, T value) {
-    PGASNB_CHECK_MSG(token.pinned(), "DistStack::push requires a pinned token");
-    Node* node = gnew<Node>();
+  void push(Guard& guard, T value) {
+    PGASNB_CHECK_MSG(guard.pinned(), "DistStack::push requires a pinned guard");
+    Node* node = Domain::template make<Node>();
     node->value = value;
     while (true) {
       ABA<Node> old_head = head_.readABA();
@@ -74,20 +86,26 @@ class DistStack {
     }
   }
 
-  std::optional<T> pop(EpochToken& token) {
-    PGASNB_CHECK_MSG(token.pinned(), "DistStack::pop requires a pinned token");
-    Runtime& rt = Runtime::get();
+  std::optional<T> pop(Guard& guard) {
+    PGASNB_CHECK_MSG(guard.pinned(), "DistStack::pop requires a pinned guard");
     while (true) {
       ABA<Node> old_head = head_.readABA();
       Node* node = old_head.getObject();
       if (node == nullptr) return std::nullopt;
-      // The head node may live on any locale: fetch a snapshot with an
-      // RDMA GET. The epoch pin guarantees the node is not reclaimed
-      // underneath us; the ABA count rejects a stale head at the CAS.
+      // The head node may live on any locale: fetch a snapshot (an RDMA
+      // GET under DistDomain, plain loads under LocalDomain). The epoch
+      // pin guarantees the node is not reclaimed underneath us; the ABA
+      // count rejects a stale head at the CAS.
       Node snapshot;
-      comm::get(&snapshot, rt.localeOfAddress(node), node, sizeof(Node));
+      if constexpr (Domain::kDistributed) {
+        comm::get(&snapshot, Runtime::get().localeOfAddress(node), node,
+                  sizeof(Node));
+      } else {
+        snapshot.value = node->value;
+        snapshot.next = node->next;
+      }
       if (head_.compareAndSwapABA(old_head, snapshot.next)) {
-        token.deferDelete(node);
+        Domain::retireNode(guard, node);
         return snapshot.value;
       }
     }
@@ -96,8 +114,10 @@ class DistStack {
   bool emptyApprox() const { return head_.read() == nullptr; }
 
  private:
-  AtomicObject<Node, /*WithAba=*/true> head_;
-  EpochManager manager_;
+  typename domain_traits<Domain>::template atomic_object<Node,
+                                                         /*WithAba=*/true>
+      head_;
+  DomainRef<Domain> domain_;
 };
 
 }  // namespace pgasnb

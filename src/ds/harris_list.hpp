@@ -2,14 +2,15 @@
 //
 // Logical deletion = setting the mark bit in a node's next pointer;
 // physical unlinking happens in `search`, and unlinked nodes are handed to
-// the epoch manager -- the textbook pairing of a non-blocking structure
+// the reclaim domain -- the textbook pairing of a non-blocking structure
 // with epoch-based reclamation, and the shape of each InterlockedHashTable
 // bucket.
 //
-// The list is policy-parameterized so the same algorithm runs in plain
-// shared memory (HeapNodePolicy + LocalEpochToken) and inside the PGAS
-// runtime on arena nodes (the hash table supplies an arena policy with the
-// distributed EpochToken).
+// The list is Domain-parameterized so the same algorithm runs in plain
+// shared memory (LocalDomain: heap nodes + LocalGuard) and inside the PGAS
+// runtime (DistDomain: arena nodes + DistGuard, as the hash table uses it).
+// This replaces the seed's ad-hoc HeapNodePolicy/ArenaNodePolicy pair:
+// node allocation and retirement are the domain's hooks now.
 #pragma once
 
 #include <atomic>
@@ -17,27 +18,15 @@
 #include <optional>
 #include <utility>
 
-#include "epoch/local_epoch_manager.hpp"
+#include "epoch/domain.hpp"
 #include "util/check.hpp"
 
 namespace pgasnb {
 
-struct HeapNodePolicy {
-  using Token = LocalEpochToken;
-  template <typename N, typename... Args>
-  static N* make(Args&&... args) {
-    return new N(std::forward<Args>(args)...);
-  }
-  template <typename N>
-  static void destroy(N* n) {
-    delete n;
-  }
-};
-
-template <typename K, typename V, typename Policy = HeapNodePolicy>
+template <typename K, typename V, ReclaimDomain Domain = LocalDomain>
 class HarrisList {
  public:
-  using Token = typename Policy::Token;
+  using Guard = typename Domain::Guard;
 
   struct Node {
     K key{};
@@ -48,7 +37,7 @@ class HarrisList {
     Node(K k, V v) : key(std::move(k)), value(std::move(v)) {}
   };
 
-  HarrisList() { head_ = Policy::template make<Node>(); }
+  HarrisList() { head_ = Domain::template make<Node>(); }
 
   HarrisList(const HarrisList&) = delete;
   HarrisList& operator=(const HarrisList&) = delete;
@@ -58,20 +47,20 @@ class HarrisList {
     Node* node = head_;
     while (node != nullptr) {
       Node* next = ptrOf(node->next.load(std::memory_order_relaxed));
-      Policy::template destroy<Node>(node);
+      Domain::template destroyNode<Node>(node);
       node = next;
     }
   }
 
-  /// Insert (k, v); fails if k is already present. Token must be pinned.
-  bool insert(Token& token, const K& key, V value) {
-    PGASNB_CHECK_MSG(token.pinned(), "HarrisList ops require a pinned token");
+  /// Insert (k, v); fails if k is already present. Guard must be pinned.
+  bool insert(Guard& guard, const K& key, V value) {
+    PGASNB_CHECK_MSG(guard.pinned(), "HarrisList ops require a pinned guard");
     while (true) {
       Node* pred = nullptr;
       Node* curr = nullptr;
-      search(token, key, pred, curr);
+      search(guard, key, pred, curr);
       if (curr != nullptr && curr->key == key) return false;
-      Node* node = Policy::template make<Node>(key, std::move(value));
+      Node* node = Domain::template make<Node>(key, std::move(value));
       node->next.store(toWord(curr, false), std::memory_order_relaxed);
       std::uintptr_t expected = toWord(curr, false);
       if (pred->next.compare_exchange_strong(expected, toWord(node, false),
@@ -82,17 +71,17 @@ class HarrisList {
       // Lost the race; reclaim the speculative node immediately (it was
       // never published) and retry.
       value = std::move(node->value);
-      Policy::template destroy<Node>(node);
+      Domain::template destroyNode<Node>(node);
     }
   }
 
-  /// Remove k; returns its value if present. Token must be pinned.
-  std::optional<V> remove(Token& token, const K& key) {
-    PGASNB_CHECK_MSG(token.pinned(), "HarrisList ops require a pinned token");
+  /// Remove k; returns its value if present. Guard must be pinned.
+  std::optional<V> remove(Guard& guard, const K& key) {
+    PGASNB_CHECK_MSG(guard.pinned(), "HarrisList ops require a pinned guard");
     while (true) {
       Node* pred = nullptr;
       Node* curr = nullptr;
-      search(token, key, pred, curr);
+      search(guard, key, pred, curr);
       if (curr == nullptr || !(curr->key == key)) return std::nullopt;
       const std::uintptr_t succ = curr->next.load(std::memory_order_acquire);
       if (isMarked(succ)) continue;  // someone else is deleting it; re-run
@@ -108,15 +97,15 @@ class HarrisList {
       std::uintptr_t pexpected = toWord(curr, false);
       if (pred->next.compare_exchange_strong(pexpected, succ,
                                              std::memory_order_seq_cst)) {
-        token.deferDelete(curr);
+        Domain::retireNode(guard, curr);
       }
       return out;
     }
   }
 
   /// Lookup; wait-free traversal (skips marked nodes, unlinks nothing).
-  std::optional<V> find(Token& token, const K& key) const {
-    PGASNB_CHECK_MSG(token.pinned(), "HarrisList ops require a pinned token");
+  std::optional<V> find(Guard& guard, const K& key) const {
+    PGASNB_CHECK_MSG(guard.pinned(), "HarrisList ops require a pinned guard");
     Node* curr = ptrOf(head_->next.load(std::memory_order_acquire));
     while (curr != nullptr && curr->key < key) {
       curr = ptrOf(curr->next.load(std::memory_order_acquire));
@@ -128,8 +117,8 @@ class HarrisList {
     return curr->value;
   }
 
-  bool contains(Token& token, const K& key) const {
-    return find(token, key).has_value();
+  bool contains(Guard& guard, const K& key) const {
+    return find(guard, key).has_value();
   }
 
   std::uint64_t sizeApprox() const noexcept {
@@ -147,8 +136,8 @@ class HarrisList {
   }
 
   /// Harris search: positions (pred, curr) around `key`, physically
-  /// unlinking any marked run it walks over and deferring those nodes.
-  void search(Token& token, const K& key, Node*& pred, Node*& curr) const {
+  /// unlinking any marked run it walks over and retiring those nodes.
+  void search(Guard& guard, const K& key, Node*& pred, Node*& curr) const {
   retry:
     pred = head_;
     std::uintptr_t pnext = pred->next.load(std::memory_order_acquire);
@@ -162,7 +151,7 @@ class HarrisList {
                                                 std::memory_order_seq_cst)) {
           goto retry;  // pred changed or became marked; restart
         }
-        token.deferDelete(curr);
+        Domain::retireNode(guard, curr);
         curr = ptrOf(cnext);
         continue;
       }

@@ -1,25 +1,28 @@
-// InterlockedHashTable: a distributed, non-blocking hash map.
+// InterlockedHashTable: a non-blocking hash map over any reclaim domain.
 //
 // The paper's conclusion reports a port of the Interlocked Hash Table
 // [Jenkins et al., PACT'17] built on AtomicObject + EpochManager as
 // "complete and awaiting release"; this module is that application, built
 // from this library's own pieces:
 //
-//   * buckets are distributed cyclically across locales;
-//   * each bucket is a lock-free ordered list (Harris) living entirely in
-//     its owner's arena, so every list operation uses cheap processor
-//     atomics ("opting out" of network atomics, as the paper recommends);
-//   * operations are shipped to the bucket's owner as short active
-//     messages, and node reclamation goes through the distributed
-//     EpochManager.
+//   * buckets are lock-free ordered lists (HarrisList<.., Domain>);
+//   * under DistDomain, buckets are distributed cyclically across locales,
+//     each living entirely in its owner's arena so every list operation
+//     uses cheap processor atomics ("opting out" of network atomics, as
+//     the paper recommends); operations are shipped to the bucket's owner
+//     as short active messages and node reclamation goes through the
+//     distributed EpochManager;
+//   * under LocalDomain, the same body degenerates to a single-shard
+//     shared-memory hash map executed in place -- no runtime required.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <type_traits>
 
 #include "ds/harris_list.hpp"
-#include "epoch/epoch_manager.hpp"
+#include "epoch/domain.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/privatization.hpp"
@@ -29,20 +32,6 @@ namespace pgasnb {
 
 namespace detail {
 
-/// Node policy for Harris lists whose nodes live in locale arenas and are
-/// reclaimed through the distributed EpochManager.
-struct ArenaNodePolicy {
-  using Token = EpochToken;
-  template <typename N, typename... Args>
-  static N* make(Args&&... args) {
-    return gnew<N>(std::forward<Args>(args)...);
-  }
-  template <typename N>
-  static void destroy(N* n) {
-    gdelete(n);
-  }
-};
-
 inline std::uint64_t ihtHash(std::uint64_t key) noexcept {
   std::uint64_t s = key;
   return splitmix64(s);
@@ -50,49 +39,70 @@ inline std::uint64_t ihtHash(std::uint64_t key) noexcept {
 
 }  // namespace detail
 
-template <typename V>
+template <typename V, ReclaimDomain Domain = DistDomain>
 class InterlockedHashTable {
-  using Bucket = HarrisList<std::uint64_t, V, detail::ArenaNodePolicy>;
+  using Bucket = HarrisList<std::uint64_t, V, Domain>;
+  using Guard = typename Domain::Guard;
 
   /// Per-locale shard: this locale's slice of the bucket array.
   struct Shard {
-    EpochManager manager;
+    DomainRef<Domain> domain;
     std::deque<Bucket> buckets;  // deque: Bucket is neither copyable nor movable
 
-    Shard(EpochManager m, std::uint64_t local_buckets) : manager(m) {
+    Shard(DomainRef<Domain> d, std::uint64_t local_buckets) : domain(d) {
       for (std::uint64_t i = 0; i < local_buckets; ++i) buckets.emplace_back();
     }
+
+    Domain& dom() const noexcept { return domain.get(); }
   };
 
  public:
   InterlockedHashTable() = default;  // invalid; use create()
 
-  /// Collective: distributes `num_buckets` buckets cyclically over all
-  /// locales. The table shares the caller's EpochManager.
+  /// Collective under DistDomain: distributes `num_buckets` buckets
+  /// cyclically over all locales. The table shares the caller's domain.
   static InterlockedHashTable create(std::uint64_t num_buckets,
-                                     EpochManager manager) {
+                                     Domain& domain) {
     InterlockedHashTable table;
-    Runtime& rt = Runtime::get();
     table.num_buckets_ = num_buckets;
-    table.num_locales_ = rt.numLocales();
-    table.shards_ = Privatized<Shard>::create([manager, num_buckets] {
-      const std::uint32_t l = Runtime::here();
-      const std::uint32_t nloc = Runtime::get().numLocales();
-      const std::uint64_t local = (num_buckets + nloc - 1 - l) / nloc;
-      return gnew<Shard>(manager, local);
-    });
+    if constexpr (Domain::kDistributed) {
+      DomainRef<Domain> handle(domain);
+      table.num_locales_ = Runtime::get().numLocales();
+      table.shards_ = Privatized<Shard>::create([handle, num_buckets] {
+        const std::uint32_t l = Runtime::here();
+        const std::uint32_t nloc = Runtime::get().numLocales();
+        const std::uint64_t local = (num_buckets + nloc - 1 - l) / nloc;
+        return gnew<Shard>(handle, local);
+      });
+    } else {
+      table.num_locales_ = 1;
+      table.local_shard_ = new Shard(DomainRef<Domain>(domain), num_buckets);
+    }
     return table;
   }
 
-  /// Collective teardown. Reclaims all deferred nodes first (the manager
-  /// may be shared; clear() is idempotent), then frees the shards.
+  /// Teardown (collective under DistDomain). Reclaims all deferred nodes
+  /// first (the domain may be shared; clear() is idempotent), then frees
+  /// the shards.
   void destroy() {
-    if (!shards_.valid()) return;
-    shards_.local().manager.clear();
-    shards_.destroy();
+    if (!valid()) return;
+    if constexpr (Domain::kDistributed) {
+      shards_.local().dom().clear();
+      shards_.destroy();
+    } else {
+      local_shard_->dom().clear();
+      delete local_shard_;
+      local_shard_ = nullptr;
+    }
   }
 
-  bool valid() const noexcept { return shards_.valid(); }
+  bool valid() const noexcept {
+    if constexpr (Domain::kDistributed) {
+      return shards_.valid();
+    } else {
+      return local_shard_ != nullptr;
+    }
+  }
 
   // The table is a trivially copyable *handle* (like Chapel's record-
   // wrapped distributed objects): operations are const on the handle and
@@ -102,10 +112,8 @@ class InterlockedHashTable {
   bool insert(std::uint64_t key, const V& value) const {
     bool inserted = false;
     onOwner(key, [&](Shard& shard, std::uint64_t local_bucket) {
-      EpochToken token = shard.manager.registerTask();
-      token.pin();
-      inserted = shard.buckets[local_bucket].insert(token, key, value);
-      token.unpin();
+      Guard guard = shard.dom().pin();
+      inserted = shard.buckets[local_bucket].insert(guard, key, value);
     });
     return inserted;
   }
@@ -113,10 +121,8 @@ class InterlockedHashTable {
   std::optional<V> find(std::uint64_t key) const {
     std::optional<V> out;
     onOwner(key, [&](Shard& shard, std::uint64_t local_bucket) {
-      EpochToken token = shard.manager.registerTask();
-      token.pin();
-      out = shard.buckets[local_bucket].find(token, key);
-      token.unpin();
+      Guard guard = shard.dom().pin();
+      out = shard.buckets[local_bucket].find(guard, key);
     });
     return out;
   }
@@ -127,42 +133,54 @@ class InterlockedHashTable {
   std::optional<V> erase(std::uint64_t key) const {
     std::optional<V> out;
     onOwner(key, [&](Shard& shard, std::uint64_t local_bucket) {
-      EpochToken token = shard.manager.registerTask();
-      token.pin();
-      out = shard.buckets[local_bucket].remove(token, key);
-      token.unpin();
+      Guard guard = shard.dom().pin();
+      out = shard.buckets[local_bucket].remove(guard, key);
     });
     return out;
   }
 
   /// Total element count (quiescent-exact, otherwise approximate).
   std::uint64_t sizeApprox() const {
-    auto shards = shards_;
-    return allLocalesSum([shards] {
+    if constexpr (Domain::kDistributed) {
+      auto shards = shards_;
+      return allLocalesSum([shards] {
+        std::uint64_t total = 0;
+        for (const Bucket& bucket : shards.local().buckets) {
+          total += bucket.sizeApprox();
+        }
+        return total;
+      });
+    } else {
       std::uint64_t total = 0;
-      for (const Bucket& bucket : shards.local().buckets) {
+      for (const Bucket& bucket : local_shard_->buckets) {
         total += bucket.sizeApprox();
       }
       return total;
-    });
+    }
   }
 
   std::uint64_t numBuckets() const noexcept { return num_buckets_; }
 
  private:
-  /// Run `fn(shard, local_bucket_index)` on the key's owning locale.
+  /// Run `fn(shard, local_bucket_index)` on the key's owning locale (in
+  /// place for a LocalDomain).
   template <typename Fn>
   void onOwner(std::uint64_t key, const Fn& fn) const {
     const std::uint64_t bucket = detail::ihtHash(key) % num_buckets_;
-    const auto owner = static_cast<std::uint32_t>(bucket % num_locales_);
     const std::uint64_t local_bucket = bucket / num_locales_;
-    auto shards = shards_;
-    comm::amSync(owner, [&fn, shards, local_bucket] {
-      fn(shards.local(), local_bucket);
-    });
+    if constexpr (Domain::kDistributed) {
+      const auto owner = static_cast<std::uint32_t>(bucket % num_locales_);
+      auto shards = shards_;
+      comm::amSync(owner, [&fn, shards, local_bucket] {
+        fn(shards.local(), local_bucket);
+      });
+    } else {
+      fn(*local_shard_, local_bucket);
+    }
   }
 
-  Privatized<Shard> shards_;
+  Privatized<Shard> shards_;       // DistDomain storage
+  Shard* local_shard_ = nullptr;   // LocalDomain storage
   std::uint64_t num_buckets_ = 0;
   std::uint32_t num_locales_ = 1;
 };

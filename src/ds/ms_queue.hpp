@@ -2,21 +2,30 @@
 //
 // One of the "most primitive of non-blocking data structures" the paper's
 // introduction motivates (queues, stacks, linked lists). Retired dummy
-// nodes go through the LocalEpochManager, which is what makes the
-// optimistic `head->next` read safe without hazard pointers.
+// nodes go through the reclaim domain, which is what makes the optimistic
+// `head->next` read safe without hazard pointers.
+//
+// The algorithm body is Domain-generic; LocalDomain (the default and the
+// tested configuration) gives the classic shared-memory queue. A
+// DistDomain instantiation compiles and puts the head/tail words behind
+// network-visible atomics with nodes in locale arenas, but node *fields*
+// are still read with direct loads -- valid only in the single-address-
+// space simulation, and not charged to the latency model. A faithful
+// distributed queue needs DistStack-style snapshot GETs; until then
+// prefer DistStack for cross-locale work.
 #pragma once
 
 #include <atomic>
 #include <optional>
 #include <utility>
 
-#include "atomic/local_atomic_object.hpp"
-#include "epoch/local_epoch_manager.hpp"
+#include "atomic/domain_traits.hpp"
+#include "epoch/domain.hpp"
 #include "util/check.hpp"
 
 namespace pgasnb {
 
-template <typename T>
+template <typename T, ReclaimDomain Domain = LocalDomain>
 class MsQueue {
   struct Node {
     T value{};
@@ -24,8 +33,10 @@ class MsQueue {
   };
 
  public:
-  explicit MsQueue(LocalEpochManager& manager) : manager_(manager) {
-    Node* dummy = new Node;
+  using Guard = typename Domain::Guard;
+
+  explicit MsQueue(Domain& domain) : domain_(domain) {
+    Node* dummy = Domain::template make<Node>();
     head_.write(dummy);
     tail_.write(dummy);
   }
@@ -37,16 +48,16 @@ class MsQueue {
     Node* node = head_.read();
     while (node != nullptr) {
       Node* next = node->next.load(std::memory_order_relaxed);
-      delete node;
+      Domain::template destroyNode<Node>(node);
       node = next;
     }
   }
 
-  LocalEpochManager& manager() noexcept { return manager_; }
+  Domain& domain() const noexcept { return domain_.get(); }
 
-  void enqueue(LocalEpochToken& token, T value) {
-    PGASNB_CHECK_MSG(token.pinned(), "MsQueue::enqueue requires a pinned token");
-    Node* node = new Node;
+  void enqueue(Guard& guard, T value) {
+    PGASNB_CHECK_MSG(guard.pinned(), "MsQueue::enqueue requires a pinned guard");
+    Node* node = Domain::template make<Node>();
     node->value = std::move(value);
     while (true) {
       Node* tail = tail_.read();
@@ -66,8 +77,8 @@ class MsQueue {
     }
   }
 
-  std::optional<T> dequeue(LocalEpochToken& token) {
-    PGASNB_CHECK_MSG(token.pinned(), "MsQueue::dequeue requires a pinned token");
+  std::optional<T> dequeue(Guard& guard) {
+    PGASNB_CHECK_MSG(guard.pinned(), "MsQueue::dequeue requires a pinned guard");
     while (true) {
       Node* head = head_.read();
       Node* tail = tail_.read();
@@ -82,7 +93,7 @@ class MsQueue {
       if (head_.compareAndSwap(head, next)) {
         // `next` is the new dummy; its value slot is ours alone now.
         std::optional<T> out(std::move(next->value));
-        token.deferDelete(head);
+        Domain::retireNode(guard, head);
         return out;
       }
     }
@@ -94,9 +105,9 @@ class MsQueue {
   }
 
  private:
-  LocalAtomicObject<Node> head_;
-  LocalAtomicObject<Node> tail_;
-  LocalEpochManager& manager_;
+  typename domain_traits<Domain>::template atomic_object<Node> head_;
+  typename domain_traits<Domain>::template atomic_object<Node> tail_;
+  DomainRef<Domain> domain_;
 };
 
 }  // namespace pgasnb

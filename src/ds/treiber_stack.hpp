@@ -1,14 +1,19 @@
 // Lock-free stacks (paper Listing 1).
 //
-// Two shared-memory variants, both runtime-free:
-//  * LockFreeStack<T>  - Treiber stack with ABA-protected head and node
+// Two variants:
+//  * LockFreeStack<T>       - Treiber stack with ABA-protected head and node
 //    recycling through an ABA-protected free list; nodes are type-stable
 //    (never returned to the allocator until destruction). This is the shape
 //    the paper's Listing 1 sketches, and the node-recycling strategy its
-//    limbo lists use.
-//  * EbrStack<T>       - Treiber stack whose popped nodes are reclaimed
-//    through a LocalEpochManager instead of a free list: the canonical
+//    limbo lists use. Runtime-free and domain-free.
+//  * EbrStack<T, Domain>    - Treiber stack whose popped nodes are reclaimed
+//    through a reclaim domain instead of a free list: the canonical
 //    "EBR solves the chicken-and-egg ABA problem" construction.
+//    LocalDomain (the default and the tested configuration) is the
+//    shared-memory stack. A DistDomain instantiation compiles (arena
+//    nodes, network-visible head) but reads node fields with direct
+//    loads -- fine in the single-address-space simulation, uncharged by
+//    the latency model; DistStack is the faithful distributed variant.
 #pragma once
 
 #include <atomic>
@@ -16,8 +21,9 @@
 #include <optional>
 #include <utility>
 
+#include "atomic/domain_traits.hpp"
 #include "atomic/local_atomic_object.hpp"
-#include "epoch/local_epoch_manager.hpp"
+#include "epoch/domain.hpp"
 
 namespace pgasnb {
 
@@ -109,11 +115,11 @@ class LockFreeStack {
   std::atomic<std::uint64_t> size_{0};
 };
 
-/// Treiber stack with EBR reclamation: pop defers the node to the epoch
-/// manager instead of recycling it, so no ABA counter is needed on the
+/// Treiber stack with EBR reclamation: pop retires the node to the reclaim
+/// domain instead of recycling it, so no ABA counter is needed on the
 /// traversal (the epoch pin guarantees the head node cannot be freed while
 /// we hold it) -- though the head keeps one for the push race.
-template <typename T>
+template <typename T, ReclaimDomain Domain = LocalDomain>
 class EbrStack {
   struct Node {
     T value{};
@@ -121,7 +127,9 @@ class EbrStack {
   };
 
  public:
-  explicit EbrStack(LocalEpochManager& manager) : manager_(manager) {}
+  using Guard = typename Domain::Guard;
+
+  explicit EbrStack(Domain& domain) : domain_(domain) {}
   EbrStack(const EbrStack&) = delete;
   EbrStack& operator=(const EbrStack&) = delete;
 
@@ -129,17 +137,18 @@ class EbrStack {
     Node* node = head_.read();
     while (node != nullptr) {
       Node* next = node->next;
-      delete node;
+      Domain::template destroyNode<Node>(node);
       node = next;
     }
   }
 
-  LocalEpochManager& manager() noexcept { return manager_; }
+  Domain& domain() const noexcept { return domain_.get(); }
 
-  /// Caller holds a pinned token from manager().
-  void push(LocalEpochToken& token, T value) {
-    PGASNB_CHECK_MSG(token.pinned(), "EbrStack::push requires a pinned token");
-    Node* node = new Node{std::move(value), nullptr};
+  /// Caller holds a pinned guard from domain().
+  void push(Guard& guard, T value) {
+    PGASNB_CHECK_MSG(guard.pinned(), "EbrStack::push requires a pinned guard");
+    Node* node = Domain::template make<Node>();
+    node->value = std::move(value);
     while (true) {
       Node* head = head_.read();
       node->next = head;
@@ -147,15 +156,15 @@ class EbrStack {
     }
   }
 
-  std::optional<T> pop(LocalEpochToken& token) {
-    PGASNB_CHECK_MSG(token.pinned(), "EbrStack::pop requires a pinned token");
+  std::optional<T> pop(Guard& guard) {
+    PGASNB_CHECK_MSG(guard.pinned(), "EbrStack::pop requires a pinned guard");
     while (true) {
       Node* head = head_.read();
       if (head == nullptr) return std::nullopt;
       Node* next = head->next;  // safe: epoch pin defers frees
       if (head_.compareAndSwap(head, next)) {
         std::optional<T> out(std::move(head->value));
-        token.deferDelete(head);
+        Domain::retireNode(guard, head);
         return out;
       }
     }
@@ -164,8 +173,8 @@ class EbrStack {
   bool empty() const noexcept { return head_.read() == nullptr; }
 
  private:
-  LocalAtomicObject<Node> head_;
-  LocalEpochManager& manager_;
+  typename domain_traits<Domain>::template atomic_object<Node> head_;
+  DomainRef<Domain> domain_;
 };
 
 }  // namespace pgasnb

@@ -1,0 +1,268 @@
+// The unified reclamation API: Domains and Guards.
+//
+// The paper's core point (Sec. II.C) is that *one* epoch-based reclamation
+// protocol serves both shared memory and the PGAS; this header makes that
+// true at the API level. A *reclaim domain* owns the epoch machinery; a
+// task enters it with `domain.pin()`, which returns an RAII `Guard`:
+//
+//   LocalDomain domain;                 // or DistDomain::create()
+//   {
+//     auto guard = domain.pin();        // register + pin, crossbeam-style
+//     ...traverse lock-free structures...
+//     guard.retire(node);               // deferred reclamation
+//     guard.tryReclaim();               // opportunistic epoch advance
+//   }                                   // unpin + unregister at scope exit
+//
+// Two models of the `ReclaimDomain` concept are provided:
+//   * LocalDomain -- wraps LocalEpochManager; runtime-free shared-memory
+//     EBR for ordinary multithreaded programs.
+//   * DistDomain  -- wraps the privatized distributed EpochManager; a
+//     trivially copyable record-wrapper handle, capture it by value in
+//     forall/coforall lambdas exactly like EpochManager.
+//
+// Every data structure in src/ds/ is templated over a Domain, so one
+// algorithm body serves both builds; the domain also centralizes node
+// allocation (`Domain::make<N>()` / `Domain::destroyNode()` /
+// `Domain::retireNode()`), replacing the per-structure node policies.
+//
+// The older token spellings (EpochManager::registerTask() returning an
+// EpochToken, and the Local* twins) remain as thin deprecated aliases; see
+// docs/API.md for the migration table.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+
+#include "epoch/epoch_manager.hpp"
+#include "epoch/local_epoch_manager.hpp"
+#include "epoch/reclaim_stats.hpp"
+
+namespace pgasnb {
+
+/// RAII epoch guard over either token flavour. Constructing a guard from a
+/// freshly registered token pins it; destruction unpins and unregisters
+/// (the token's own RAII). Move-only, like the tokens.
+template <typename TokenT>
+class BasicGuard {
+ public:
+  BasicGuard() = default;
+  explicit BasicGuard(TokenT token, bool pin_now = true)
+      : token_(std::move(token)) {
+    if (pin_now && token_.valid()) token_.pin();
+  }
+  BasicGuard(BasicGuard&&) noexcept = default;
+  BasicGuard& operator=(BasicGuard&&) noexcept = default;
+  BasicGuard(const BasicGuard&) = delete;
+  BasicGuard& operator=(const BasicGuard&) = delete;
+
+  /// False once moved-from or released.
+  bool valid() const noexcept { return token_.valid(); }
+
+  // --- epoch introspection ------------------------------------------------
+  bool pinned() const noexcept { return token_.pinned(); }
+  /// The epoch this guard is pinned in; kEpochQuiescent when unpinned.
+  std::uint64_t epoch() const noexcept { return token_.epoch(); }
+
+  /// Temporarily leave the epoch (e.g. between phases of a long task) and
+  /// re-enter it. pin() is idempotent.
+  void pin() { token_.pin(); }
+  void unpin() noexcept { token_.unpin(); }
+
+  // --- deferred reclamation ----------------------------------------------
+  /// Defer deletion of `obj` until no task can still hold a reference.
+  /// Requires the guard to be pinned.
+  template <typename T>
+  void retire(T* obj) {
+    token_.deferDelete(obj);
+  }
+  /// Custom-deleter escape hatch (for a DistDomain the deleter runs on the
+  /// object's owning locale).
+  void retireRaw(void* obj, ObjectDeleter deleter) {
+    token_.deferDeleteRaw(obj, deleter);
+  }
+
+  /// Attempt an epoch advance + reclamation; non-blocking, returns true
+  /// iff this call won the election and advanced the epoch.
+  bool tryReclaim() { return token_.tryReclaim(); }
+
+  /// Early unregistration (otherwise the destructor does it).
+  void release() { token_.reset(); }
+
+  /// The wrapped legacy token (white-box access for tests).
+  TokenT& token() noexcept { return token_; }
+
+ private:
+  TokenT token_;
+};
+
+using LocalGuard = BasicGuard<LocalEpochToken>;
+using DistGuard = BasicGuard<EpochToken>;
+
+/// Shared-memory reclaim domain: plain C++ threads, heap nodes, no runtime
+/// required. Non-copyable; pass by reference, like the manager it wraps.
+class LocalDomain {
+ public:
+  using Guard = LocalGuard;
+  static constexpr bool kDistributed = false;
+
+  LocalDomain() = default;
+  LocalDomain(const LocalDomain&) = delete;
+  LocalDomain& operator=(const LocalDomain&) = delete;
+
+  bool valid() const noexcept { return true; }
+
+  /// Register the calling task and enter the current epoch.
+  Guard pin() { return Guard(manager_.registerTask(), /*pin_now=*/true); }
+  /// Register without pinning (for tasks that toggle pin()/unpin()).
+  Guard attach() { return Guard(manager_.registerTask(), /*pin_now=*/false); }
+
+  bool tryReclaim() { return manager_.tryReclaim(); }
+  /// Reclaim everything; caller guarantees no concurrent use.
+  void clear() { manager_.clear(); }
+  std::uint64_t currentEpoch() const noexcept {
+    return manager_.currentEpoch();
+  }
+  ReclaimStats stats() const { return manager_.stats(); }
+
+  // --- node hooks (used by the Domain-generic data structures) ------------
+  template <typename N, typename... Args>
+  static N* make(Args&&... args) {
+    return new N(std::forward<Args>(args)...);
+  }
+  template <typename N>
+  static void destroyNode(N* n) {
+    delete n;
+  }
+  template <typename N>
+  static void retireNode(Guard& guard, N* n) {
+    guard.retire(n);
+  }
+
+  /// White-box access for tests/benches.
+  LocalEpochManager& manager() noexcept { return manager_; }
+
+ private:
+  LocalEpochManager manager_;
+};
+
+/// Distributed reclaim domain: a trivially copyable record-wrapper over the
+/// privatized EpochManager. Capture by value in task lambdas; every call
+/// resolves against the executing locale's instance.
+class DistDomain {
+ public:
+  using Guard = DistGuard;
+  static constexpr bool kDistributed = true;
+
+  DistDomain() = default;  // invalid handle; use create()
+
+  /// Collective: one privatized instance per locale + the global epoch.
+  static DistDomain create() {
+    DistDomain d;
+    d.manager_ = EpochManager::create();
+    return d;
+  }
+  /// Collective teardown: reclaims everything, destroys all instances.
+  void destroy() { manager_.destroy(); }
+
+  bool valid() const noexcept { return manager_.valid(); }
+
+  /// Register the calling task (token bound to the calling locale) and
+  /// enter the current epoch.
+  Guard pin() const { return Guard(manager_.registerTask(), /*pin_now=*/true); }
+  Guard attach() const {
+    return Guard(manager_.registerTask(), /*pin_now=*/false);
+  }
+
+  bool tryReclaim() const { return manager_.tryReclaim(); }
+  void clear() const { manager_.clear(); }
+  std::uint64_t currentEpoch() const { return manager_.currentGlobalEpoch(); }
+  ReclaimStats stats() const { return manager_.stats(); }
+
+  // --- node hooks ---------------------------------------------------------
+  /// Nodes live in the calling locale's arena; reclamation ships each node
+  /// back to its owner (scatter lists).
+  template <typename N, typename... Args>
+  static N* make(Args&&... args) {
+    return gnew<N>(std::forward<Args>(args)...);
+  }
+  template <typename N>
+  static void destroyNode(N* n) {
+    gdelete(n);
+  }
+  template <typename N>
+  static void retireNode(Guard& guard, N* n) {
+    guard.retire(n);
+  }
+
+  /// White-box access for tests/benches.
+  EpochManager manager() const noexcept { return manager_; }
+
+ private:
+  EpochManager manager_;
+};
+
+/// How a data structure holds on to its domain: distributed domains are
+/// trivially copyable record-wrappers and are stored *by value* (the
+/// paper's handle idiom -- safe to capture across locales and to outlive
+/// the caller's variable); local domains are non-copyable and stored by
+/// pointer, so the caller keeps ownership. One helper instead of each
+/// structure hand-rolling the conditional.
+template <typename Domain>
+class DomainRef {
+ public:
+  DomainRef() = default;
+  DomainRef(Domain& domain) {  // NOLINT: implicit by design
+    if constexpr (Domain::kDistributed) {
+      handle_ = domain;
+    } else {
+      handle_ = &domain;
+    }
+  }
+
+  Domain& get() const noexcept {
+    if constexpr (Domain::kDistributed) {
+      return handle_;
+    } else {
+      return *handle_;
+    }
+  }
+
+ private:
+  // mutable: a by-value distributed handle is logically a reference; get()
+  // must hand out Domain& from const contexts (e.g. const data structures).
+  mutable std::conditional_t<Domain::kDistributed, Domain, Domain*> handle_{};
+};
+
+/// The concept every reclamation backend models. Data structures constrain
+/// their Domain parameter with this, so a misuse fails at the constraint
+/// rather than deep inside an algorithm body.
+template <typename D>
+concept ReclaimDomain = requires(D d, const D cd, typename D::Guard g,
+                                 void* obj, ObjectDeleter del, int* node) {
+  typename D::Guard;
+  { D::kDistributed } -> std::convertible_to<bool>;
+  { d.pin() } -> std::same_as<typename D::Guard>;
+  { d.attach() } -> std::same_as<typename D::Guard>;
+  { d.tryReclaim() } -> std::convertible_to<bool>;
+  { d.clear() };
+  { cd.currentEpoch() } -> std::convertible_to<std::uint64_t>;
+  { cd.stats() } -> std::convertible_to<ReclaimStats>;
+  // node hooks
+  { D::template make<int>() } -> std::same_as<int*>;
+  { D::template destroyNode<int>(node) };
+  { D::template retireNode<int>(g, node) };
+  // guard surface
+  { g.pinned() } -> std::convertible_to<bool>;
+  { g.epoch() } -> std::convertible_to<std::uint64_t>;
+  { g.pin() };
+  { g.unpin() };
+  { g.retire(node) };
+  { g.retireRaw(obj, del) };
+  { g.tryReclaim() } -> std::convertible_to<bool>;
+};
+
+static_assert(ReclaimDomain<LocalDomain>);
+static_assert(ReclaimDomain<DistDomain>);
+
+}  // namespace pgasnb

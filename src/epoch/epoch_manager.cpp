@@ -89,8 +89,8 @@ void EpochManagerImpl::deleteBucketFor(std::uint32_t dest) {
   }
 }
 
-EpochManagerStats EpochManagerImpl::statsSnapshot() const {
-  EpochManagerStats s;
+ReclaimStats EpochManagerImpl::statsSnapshot() const {
+  ReclaimStats s;
   s.deferred = deferred_.load(std::memory_order_relaxed);
   s.reclaimed = reclaimed_.load(std::memory_order_relaxed);
   s.advances = advances_.load(std::memory_order_relaxed);
@@ -229,17 +229,11 @@ void EpochManager::destroy() {
   }
 }
 
-EpochManagerStats EpochManager::stats() const {
-  EpochManagerStats total;
+ReclaimStats EpochManager::stats() const {
+  ReclaimStats total;
   Runtime& rt = Runtime::get();
   for (std::uint32_t l = 0; l < rt.numLocales(); ++l) {
-    const EpochManagerStats s = implOn(l)->statsSnapshot();
-    total.deferred += s.deferred;
-    total.reclaimed += s.reclaimed;
-    total.advances += s.advances;
-    total.elections_lost_local += s.elections_lost_local;
-    total.elections_lost_global += s.elections_lost_global;
-    total.scans_unsafe += s.scans_unsafe;
+    total += implOn(l)->statsSnapshot();
   }
   return total;
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "epoch/limbo_list.hpp"
+#include "epoch/reclaim_stats.hpp"
 #include "epoch/token.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/comm.hpp"
@@ -46,15 +47,6 @@ struct GlobalEpoch {
   DistAtomicU64 epoch{1};
   DistAtomicU64 is_setting_epoch{0};
   std::atomic<std::uint64_t> advances{0};  // diagnostics
-};
-
-struct EpochManagerStats {
-  std::uint64_t deferred = 0;
-  std::uint64_t reclaimed = 0;
-  std::uint64_t advances = 0;
-  std::uint64_t elections_lost_local = 0;
-  std::uint64_t elections_lost_global = 0;
-  std::uint64_t scans_unsafe = 0;
 };
 
 namespace detail {
@@ -119,7 +111,7 @@ class EpochManagerImpl {
 
   GlobalEpoch& global() noexcept { return *global_; }
 
-  EpochManagerStats statsSnapshot() const;
+  ReclaimStats statsSnapshot() const;
 
   // Fields are accessed directly by the reclaim driver in epoch_manager.cpp
   // and by white-box tests; this type is an implementation detail.
@@ -177,10 +169,17 @@ class EpochToken {
   bool valid() const noexcept { return token_ != nullptr; }
 
   void pin() { handle_.local().pin(token_); }
-  void unpin() { handle_.local().unpin(token_); }
-  bool pinned() const noexcept { return token_->pinned(); }
+  void unpin() {
+    // No-op on an invalid (released/moved-from) token: already quiescent.
+    if (token_ == nullptr) return;
+    handle_.local().unpin(token_);
+  }
+  /// An invalid (default-constructed or moved-from) token is quiescent.
+  bool pinned() const noexcept { return token_ != nullptr && token_->pinned(); }
   std::uint64_t epoch() const noexcept {
-    return token_->local_epoch.load(std::memory_order_relaxed);
+    return token_ == nullptr
+               ? kEpochQuiescent
+               : token_->local_epoch.load(std::memory_order_relaxed);
   }
 
   /// Defer deletion of an object allocated with gnew/gnewOn. May target
@@ -196,8 +195,12 @@ class EpochToken {
   }
 
   /// Attempt a reclamation from this task (paper: "intended to be invoked
-  /// on the token or EpochManager").
-  bool tryReclaim() { return detail::epochTryReclaim(handle_); }
+  /// on the token or EpochManager"). False on an invalid token (mirrors
+  /// the LocalEpochToken hardening).
+  bool tryReclaim() {
+    if (token_ == nullptr) return false;
+    return detail::epochTryReclaim(handle_);
+  }
 
   /// Early unregistration (otherwise the destructor does it).
   void reset() {
@@ -233,6 +236,8 @@ class EpochManager {
   bool valid() const noexcept { return handle_.valid(); }
 
   /// Register the calling task; the token is bound to the calling locale.
+  /// DEPRECATED spelling kept for the migration window: new code should go
+  /// through DistDomain::pin() and program against Guards (epoch/domain.hpp).
   EpochToken registerTask() const {
     return EpochToken(handle_, handle_.local().registerToken());
   }
@@ -248,7 +253,7 @@ class EpochManager {
   }
 
   /// Summed statistics across locales (diagnostic; quiescent-exact).
-  EpochManagerStats stats() const;
+  ReclaimStats stats() const;
 
   /// White-box access for tests/benches.
   EpochManagerImpl& implHere() const { return handle_.local(); }

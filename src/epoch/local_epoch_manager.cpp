@@ -20,6 +20,9 @@ LocalEpochToken& LocalEpochToken::operator=(LocalEpochToken&& other) noexcept {
 void LocalEpochToken::pin() { manager_->pin(token_); }
 
 void LocalEpochToken::unpin() noexcept {
+  // No-op on an invalid (released/moved-from) token: it is already
+  // quiescent, and EpochToken behaves the same way.
+  if (token_ == nullptr) return;
   token_->local_epoch.store(kEpochQuiescent, std::memory_order_seq_cst);
 }
 
@@ -27,7 +30,11 @@ void LocalEpochToken::deferDeleteRaw(void* obj, ObjectDeleter deleter) {
   manager_->deferDelete(token_, obj, deleter);
 }
 
-bool LocalEpochToken::tryReclaim() { return manager_->tryReclaim(); }
+bool LocalEpochToken::tryReclaim() {
+  // Invalid token: nothing to reclaim through (mirrors unpin's hardening).
+  if (manager_ == nullptr) return false;
+  return manager_->tryReclaim();
+}
 
 void LocalEpochToken::reset() {
   if (token_ == nullptr) return;
@@ -116,12 +123,13 @@ void LocalEpochManager::clear() {
   }
 }
 
-LocalEpochManagerStats LocalEpochManager::stats() const {
-  LocalEpochManagerStats s;
+ReclaimStats LocalEpochManager::stats() const {
+  ReclaimStats s;
   s.deferred = deferred_.load(std::memory_order_relaxed);
   s.reclaimed = reclaimed_.load(std::memory_order_relaxed);
   s.advances = advances_.load(std::memory_order_relaxed);
-  s.elections_lost = elections_lost_.load(std::memory_order_relaxed);
+  // A local domain has only the one locale-local election.
+  s.elections_lost_local = elections_lost_.load(std::memory_order_relaxed);
   s.scans_unsafe = scans_unsafe_.load(std::memory_order_relaxed);
   return s;
 }

@@ -13,17 +13,10 @@
 #include <cstdint>
 
 #include "epoch/limbo_list.hpp"
+#include "epoch/reclaim_stats.hpp"
 #include "epoch/token.hpp"
 
 namespace pgasnb {
-
-struct LocalEpochManagerStats {
-  std::uint64_t deferred = 0;
-  std::uint64_t reclaimed = 0;
-  std::uint64_t advances = 0;
-  std::uint64_t elections_lost = 0;
-  std::uint64_t scans_unsafe = 0;
-};
 
 class LocalEpochManager;
 
@@ -41,9 +34,12 @@ class LocalEpochToken {
 
   void pin();
   void unpin() noexcept;
-  bool pinned() const noexcept { return token_->pinned(); }
+  /// An invalid (default-constructed or moved-from) token is quiescent.
+  bool pinned() const noexcept { return token_ != nullptr && token_->pinned(); }
   std::uint64_t epoch() const noexcept {
-    return token_->local_epoch.load(std::memory_order_relaxed);
+    return token_ == nullptr
+               ? kEpochQuiescent
+               : token_->local_epoch.load(std::memory_order_relaxed);
   }
 
   /// Defer `delete obj` until two epoch advances prove quiescence.
@@ -73,6 +69,8 @@ class LocalEpochManager {
   LocalEpochManager(const LocalEpochManager&) = delete;
   LocalEpochManager& operator=(const LocalEpochManager&) = delete;
 
+  /// DEPRECATED spelling kept for the migration window: new code should go
+  /// through LocalDomain::pin() and program against Guards (epoch/domain.hpp).
   LocalEpochToken registerTask() { return {this, tokens_.acquire()}; }
 
   /// Advance the epoch and reclaim the list two epochs behind, if every
@@ -87,7 +85,7 @@ class LocalEpochManager {
     return epoch_.load(std::memory_order_seq_cst);
   }
 
-  LocalEpochManagerStats stats() const;
+  ReclaimStats stats() const;
 
  private:
   friend class LocalEpochToken;

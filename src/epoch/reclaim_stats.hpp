@@ -1,0 +1,50 @@
+// ReclaimStats: the one statistics record shared by every reclamation
+// domain (paper Sec. II.C exposes the same counters for both the
+// distributed EpochManager and the shared-memory LocalEpochManager; the
+// seed duplicated the struct per manager).
+//
+// Counter semantics:
+//   deferred   objects handed to retire()/deferDelete (not yet freed)
+//   reclaimed  objects whose deleter has run
+//   advances   successful epoch advances won by this domain
+//   elections_lost_local   tryReclaim attempts bounced off the locale-local
+//                          FCFS flag (the only election a LocalDomain has)
+//   elections_lost_global  attempts that won locally but lost the global
+//                          flag (always 0 for a LocalDomain)
+//   scans_unsafe           elections won whose token scan found a pinned
+//                          task outside the current epoch
+#pragma once
+
+#include <cstdint>
+
+namespace pgasnb {
+
+struct ReclaimStats {
+  std::uint64_t deferred = 0;
+  std::uint64_t reclaimed = 0;
+  std::uint64_t advances = 0;
+  std::uint64_t elections_lost_local = 0;
+  std::uint64_t elections_lost_global = 0;
+  std::uint64_t scans_unsafe = 0;
+
+  std::uint64_t electionsLost() const noexcept {
+    return elections_lost_local + elections_lost_global;
+  }
+  std::uint64_t pending() const noexcept { return deferred - reclaimed; }
+
+  ReclaimStats& operator+=(const ReclaimStats& o) noexcept {
+    deferred += o.deferred;
+    reclaimed += o.reclaimed;
+    advances += o.advances;
+    elections_lost_local += o.elections_lost_local;
+    elections_lost_global += o.elections_lost_global;
+    scans_unsafe += o.scans_unsafe;
+    return *this;
+  }
+};
+
+/// Deprecated spellings kept for the migration window (docs/API.md).
+using EpochManagerStats = ReclaimStats;
+using LocalEpochManagerStats = ReclaimStats;
+
+}  // namespace pgasnb

@@ -1,15 +1,40 @@
 // Umbrella header for the pgas-nb library.
 //
+// The documented entry point to reclamation is the Domain/Guard API
+// (epoch/domain.hpp): pick a reclaim domain, pin a guard, retire garbage.
+//
 //   #include <pgasnb.hpp>
 //
+//   // Shared memory (no runtime needed):
+//   pgasnb::LocalDomain domain;
+//   pgasnb::EbrStack<int> stack(domain);
+//   {
+//     auto guard = domain.pin();        // RAII: unpin+unregister at scope exit
+//     stack.push(guard, 42);
+//     stack.pop(guard);                 // popped node retired via the guard
+//     guard.tryReclaim();
+//   }
+//
+//   // PGAS (distributed):
 //   int main() {
 //     pgasnb::RuntimeConfig cfg;
 //     cfg.num_locales = 8;
 //     pgasnb::Runtime rt(cfg);
-//     auto manager = pgasnb::EpochManager::create();
-//     ...
-//     manager.destroy();
+//     auto domain = pgasnb::DistDomain::create();
+//     auto* stack = pgasnb::DistStack<std::uint64_t>::create(domain);
+//     pgasnb::coforallLocales([domain, stack] {
+//       auto guard = domain.pin();
+//       stack->push(guard, pgasnb::Runtime::here());
+//       stack->pop(guard);              // node shipped home at reclaim time
+//     });
+//     pgasnb::DistStack<std::uint64_t>::destroy(stack);
+//     domain.destroy();
 //   }
+//
+// Every data structure in ds/ takes the Domain as a template parameter, so
+// the same algorithm body serves both builds. The legacy token spellings
+// (EpochManager::registerTask() / LocalEpochManager::registerTask()) remain
+// as deprecated aliases; see docs/API.md for the migration table.
 #pragma once
 
 #include "util/backoff.hpp"
@@ -34,11 +59,14 @@
 #include "atomic/pointer_compression.hpp"
 #include "atomic/local_atomic_object.hpp"
 #include "atomic/atomic_object.hpp"
+#include "atomic/domain_traits.hpp"
 
 #include "epoch/limbo_list.hpp"
 #include "epoch/token.hpp"
+#include "epoch/reclaim_stats.hpp"
 #include "epoch/epoch_manager.hpp"
 #include "epoch/local_epoch_manager.hpp"
+#include "epoch/domain.hpp"
 
 #include "ds/treiber_stack.hpp"
 #include "ds/ms_queue.hpp"

@@ -1,5 +1,5 @@
 // DistStack: the global-view distributed Treiber stack (paper Listing 1
-// on distributed building blocks).
+// on distributed building blocks), Domain-generic.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -16,90 +16,83 @@ using testing::RuntimeTest;
 class DistStackModeTest : public RuntimeParamTest {};
 
 TEST_P(DistStackModeTest, PushPopSingleLocaleView) {
-  EpochManager em = EpochManager::create();
-  auto* stack = DistStack<std::uint64_t>::create(em);
-  EpochToken tok = em.registerTask();
-  tok.pin();
-  EXPECT_TRUE(stack->emptyApprox());
-  stack->push(tok, 11);
-  stack->push(tok, 22);
-  EXPECT_EQ(*stack->pop(tok), 22u);
-  EXPECT_EQ(*stack->pop(tok), 11u);
-  EXPECT_FALSE(stack->pop(tok).has_value());
-  tok.unpin();
-  tok.reset();
+  DistDomain domain = DistDomain::create();
+  auto* stack = DistStack<std::uint64_t>::create(domain);
+  {
+    auto guard = domain.pin();
+    EXPECT_TRUE(stack->emptyApprox());
+    stack->push(guard, 11);
+    stack->push(guard, 22);
+    EXPECT_EQ(*stack->pop(guard), 22u);
+    EXPECT_EQ(*stack->pop(guard), 11u);
+    EXPECT_FALSE(stack->pop(guard).has_value());
+  }
   DistStack<std::uint64_t>::destroy(stack);
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_P(DistStackModeTest, EveryLocalePushesAndDrainConserves) {
-  EpochManager em = EpochManager::create();
-  auto* stack = DistStack<std::uint64_t>::create(em);
+  DistDomain domain = DistDomain::create();
+  auto* stack = DistStack<std::uint64_t>::create(domain);
   constexpr std::uint64_t kPerLocale = 200;
   const std::uint64_t nloc = runtime_->numLocales();
 
-  coforallLocales([em, stack] {
-    EpochToken tok = em.registerTask();
-    tok.pin();
+  coforallLocales([domain, stack] {
+    auto guard = domain.pin();
     const std::uint64_t base = Runtime::here() * kPerLocale;
     for (std::uint64_t i = 0; i < kPerLocale; ++i) {
-      stack->push(tok, base + i);
+      stack->push(guard, base + i);
     }
-    tok.unpin();
   });
 
   // Drain from locale 0 and verify each value shows up exactly once.
   std::set<std::uint64_t> seen;
   {
-    EpochToken tok = em.registerTask();
-    tok.pin();
-    while (auto v = stack->pop(tok)) {
+    auto guard = domain.pin();
+    while (auto v = stack->pop(guard)) {
       EXPECT_TRUE(seen.insert(*v).second) << "duplicate " << *v;
     }
-    tok.unpin();
   }
   EXPECT_EQ(seen.size(), kPerLocale * nloc);
   EXPECT_EQ(*seen.begin(), 0u);
   EXPECT_EQ(*seen.rbegin(), kPerLocale * nloc - 1);
 
   DistStack<std::uint64_t>::destroy(stack);
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_P(DistStackModeTest, ConcurrentMixedOpsConserve) {
-  EpochManager em = EpochManager::create();
-  auto* stack = DistStack<std::uint64_t>::create(em);
+  DistDomain domain = DistDomain::create();
+  auto* stack = DistStack<std::uint64_t>::create(domain);
   constexpr int kIters = 150;
   std::atomic<std::uint64_t> popped{0};
   std::atomic<std::uint64_t> pushed{0};
 
-  coforallLocales([em, stack, &popped, &pushed] {
-    EpochToken tok = em.registerTask();
+  coforallLocales([domain, stack, &popped, &pushed] {
+    auto guard = domain.attach();
     Xoshiro256 rng(Runtime::here() * 7 + 3);
     for (int i = 0; i < kIters; ++i) {
-      tok.pin();
+      guard.pin();
       if (rng.nextBool(0.6)) {
-        stack->push(tok, rng.next());
+        stack->push(guard, rng.next());
         pushed.fetch_add(1, std::memory_order_relaxed);
-      } else if (stack->pop(tok).has_value()) {
+      } else if (stack->pop(guard).has_value()) {
         popped.fetch_add(1, std::memory_order_relaxed);
       }
-      tok.unpin();
-      if ((i & 63) == 0) tok.tryReclaim();
+      guard.unpin();
+      if ((i & 63) == 0) guard.tryReclaim();
     }
   });
 
   std::uint64_t rest = 0;
   {
-    EpochToken tok = em.registerTask();
-    tok.pin();
-    while (stack->pop(tok).has_value()) ++rest;
-    tok.unpin();
+    auto guard = domain.pin();
+    while (stack->pop(guard).has_value()) ++rest;
   }
   EXPECT_EQ(popped.load() + rest, pushed.load());
 
   DistStack<std::uint64_t>::destroy(stack);
-  em.destroy();
+  domain.destroy();
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, DistStackModeTest, PGASNB_RUNTIME_PARAMS,
@@ -109,34 +102,31 @@ class DistStackTest : public RuntimeTest {};
 
 TEST_F(DistStackTest, NodesLiveOnPushingLocale) {
   startRuntime(4);
-  EpochManager em = EpochManager::create();
-  auto* stack = DistStack<std::uint64_t>::create(em);
-  coforallLocales([em, stack] {
-    EpochToken tok = em.registerTask();
-    tok.pin();
-    stack->push(tok, Runtime::here());
-    tok.unpin();
+  DistDomain domain = DistDomain::create();
+  auto* stack = DistStack<std::uint64_t>::create(domain);
+  coforallLocales([domain, stack] {
+    auto guard = domain.pin();
+    stack->push(guard, Runtime::here());
   });
   // Walk the chain: each node's owner must equal the value pushed by it.
-  EpochToken tok = em.registerTask();
-  tok.pin();
-  std::set<std::uint32_t> owners;
-  for (int i = 0; i < 4; ++i) {
-    auto v = stack->pop(tok);
-    ASSERT_TRUE(v.has_value());
-    owners.insert(static_cast<std::uint32_t>(*v));
+  {
+    auto guard = domain.pin();
+    std::set<std::uint32_t> owners;
+    for (int i = 0; i < 4; ++i) {
+      auto v = stack->pop(guard);
+      ASSERT_TRUE(v.has_value());
+      owners.insert(static_cast<std::uint32_t>(*v));
+    }
+    EXPECT_EQ(owners.size(), 4u) << "one node per locale";
   }
-  tok.unpin();
-  EXPECT_EQ(owners.size(), 4u) << "one node per locale";
-  tok.reset();
   DistStack<std::uint64_t>::destroy(stack);
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_F(DistStackTest, ReclaimShipsNodesHome) {
   startRuntime(3);
-  EpochManager em = EpochManager::create();
-  auto* stack = DistStack<std::uint64_t>::create(em);
+  DistDomain domain = DistDomain::create();
+  auto* stack = DistStack<std::uint64_t>::create(domain);
   std::vector<std::uint64_t> live_before(3);
   for (std::uint32_t l = 0; l < 3; ++l) {
     live_before[l] = runtime_->locale(l).arena().liveBlocks();
@@ -144,25 +134,21 @@ TEST_F(DistStackTest, ReclaimShipsNodesHome) {
   // Push from every locale, pop everything from locale 0, then reclaim:
   // node frees must land back on the pushing locales' arenas (no aborts
   // from the owner assert = scatter worked).
-  coforallLocales([em, stack] {
-    EpochToken tok = em.registerTask();
-    tok.pin();
-    for (int i = 0; i < 64; ++i) stack->push(tok, i);
-    tok.unpin();
+  coforallLocales([domain, stack] {
+    auto guard = domain.pin();
+    for (int i = 0; i < 64; ++i) stack->push(guard, i);
   });
   {
-    EpochToken tok = em.registerTask();
-    tok.pin();
-    while (stack->pop(tok).has_value()) {
+    auto guard = domain.pin();
+    while (stack->pop(guard).has_value()) {
     }
-    tok.unpin();
   }
-  em.clear();
-  const auto s = em.stats();
+  domain.clear();
+  const auto s = domain.stats();
   EXPECT_EQ(s.deferred, 3u * 64u);
   EXPECT_EQ(s.reclaimed, s.deferred);
   DistStack<std::uint64_t>::destroy(stack);
-  em.destroy();
+  domain.destroy();
   // Allow pooled limbo nodes/tokens to remain; payload nodes must be gone.
   for (std::uint32_t l = 0; l < 3; ++l) {
     EXPECT_LE(runtime_->locale(l).arena().liveBlocks(), live_before[l] + 80);
@@ -171,11 +157,33 @@ TEST_F(DistStackTest, ReclaimShipsNodesHome) {
 
 TEST_F(DistStackTest, HeadPlacementIsConfigurable) {
   startRuntime(3);
-  EpochManager em = EpochManager::create();
-  auto* stack = DistStack<std::uint64_t>::create(em, /*home=*/2);
+  DistDomain domain = DistDomain::create();
+  auto* stack = DistStack<std::uint64_t>::create(domain, /*home=*/2);
   EXPECT_EQ(localeOf(stack), 2u);
   DistStack<std::uint64_t>::destroy(stack);
-  em.destroy();
+  domain.destroy();
+}
+
+TEST_F(DistStackTest, LocalDomainInstantiationSharesTheAlgorithm) {
+  // The same DistStack body on a LocalDomain: heap nodes, processor
+  // atomics, direct loads -- no runtime primitives on the hot path.
+  startRuntime(1);
+  LocalDomain domain;
+  auto* stack = DistStack<std::uint64_t, LocalDomain>::create(domain);
+  {
+    auto guard = domain.pin();
+    for (std::uint64_t i = 0; i < 100; ++i) stack->push(guard, i);
+    for (std::uint64_t i = 100; i-- > 0;) {
+      auto v = stack->pop(guard);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, i);
+    }
+    EXPECT_FALSE(stack->pop(guard).has_value());
+  }
+  const auto s = domain.stats();
+  EXPECT_EQ(s.deferred, 100u);
+  DistStack<std::uint64_t, LocalDomain>::destroy(stack);
+  EXPECT_EQ(domain.stats().reclaimed, s.deferred);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
-// Distributed EpochManager: privatized instances, global epoch consensus,
-// elections, scatter lists, and cross-locale reclamation (paper II.C).
+// Distributed reclaim domain: privatized instances, global epoch
+// consensus, elections, scatter lists, and cross-locale reclamation
+// (paper II.C), driven through the Domain/Guard API.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -20,100 +21,96 @@ struct Payload {
 class EpochManagerModeTest : public RuntimeParamTest {};
 
 TEST_P(EpochManagerModeTest, CreateAndDestroy) {
-  EpochManager em = EpochManager::create();
-  EXPECT_TRUE(em.valid());
-  EXPECT_EQ(em.currentGlobalEpoch(), 1u);
-  em.destroy();
-  EXPECT_FALSE(em.valid());
+  DistDomain domain = DistDomain::create();
+  EXPECT_TRUE(domain.valid());
+  EXPECT_EQ(domain.currentEpoch(), 1u);
+  domain.destroy();
+  EXPECT_FALSE(domain.valid());
 }
 
 TEST_P(EpochManagerModeTest, PinUnpinOnEveryLocale) {
-  EpochManager em = EpochManager::create();
-  coforallLocales([em] {
-    EpochToken tok = em.registerTask();
-    EXPECT_FALSE(tok.pinned());
-    tok.pin();
-    EXPECT_TRUE(tok.pinned());
-    EXPECT_NE(tok.epoch(), kEpochQuiescent);
-    tok.unpin();
-    EXPECT_FALSE(tok.pinned());
+  DistDomain domain = DistDomain::create();
+  coforallLocales([domain] {
+    auto guard = domain.attach();
+    EXPECT_FALSE(guard.pinned());
+    guard.pin();
+    EXPECT_TRUE(guard.pinned());
+    EXPECT_NE(guard.epoch(), kEpochQuiescent);
+    guard.unpin();
+    EXPECT_FALSE(guard.pinned());
   });
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_P(EpochManagerModeTest, TryReclaimAdvancesGlobalEpoch) {
-  EpochManager em = EpochManager::create();
-  EXPECT_TRUE(em.tryReclaim());
-  EXPECT_EQ(em.currentGlobalEpoch(), 2u);
-  EXPECT_TRUE(em.tryReclaim());
-  EXPECT_EQ(em.currentGlobalEpoch(), 3u);
+  DistDomain domain = DistDomain::create();
+  EXPECT_TRUE(domain.tryReclaim());
+  EXPECT_EQ(domain.currentEpoch(), 2u);
+  EXPECT_TRUE(domain.tryReclaim());
+  EXPECT_EQ(domain.currentEpoch(), 3u);
   // Locale caches follow the global epoch.
-  coforallLocales([em] {
-    EXPECT_EQ(em.implHere().locale_epoch_.load(std::memory_order_seq_cst), 3u);
+  coforallLocales([domain] {
+    EXPECT_EQ(domain.manager().implHere().locale_epoch_.load(
+                  std::memory_order_seq_cst),
+              3u);
   });
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_P(EpochManagerModeTest, DeferAndReclaimLocalObjects) {
-  EpochManager em = EpochManager::create();
+  DistDomain domain = DistDomain::create();
   Runtime& rt = *runtime_;
   std::vector<std::uint64_t> live_before(rt.numLocales());
   for (std::uint32_t l = 0; l < rt.numLocales(); ++l) {
     live_before[l] = rt.locale(l).arena().liveBlocks();
   }
   constexpr int kPerLocale = 50;
-  coforallLocales([em] {
-    EpochToken tok = em.registerTask();
-    tok.pin();
+  coforallLocales([domain] {
+    auto guard = domain.pin();
     for (int i = 0; i < kPerLocale; ++i) {
-      tok.deferDelete(gnew<Payload>());
+      guard.retire(gnew<Payload>());
     }
-    tok.unpin();
   });
-  const auto s1 = em.stats();
+  const auto s1 = domain.stats();
   EXPECT_EQ(s1.deferred,
             static_cast<std::uint64_t>(kPerLocale) * rt.numLocales());
   EXPECT_EQ(s1.reclaimed, 0u);
 
-  em.clear();
+  domain.clear();
 
-  const auto s2 = em.stats();
+  const auto s2 = domain.stats();
   EXPECT_EQ(s2.reclaimed, s1.deferred);
   for (std::uint32_t l = 0; l < rt.numLocales(); ++l) {
     EXPECT_LE(rt.locale(l).arena().liveBlocks(),
               live_before[l] + /*tokens+nodes kept pooled*/ 64)
         << "payload objects must be freed on locale " << l;
   }
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_P(EpochManagerModeTest, RemoteObjectsReclaimedOnOwner) {
-  // Defer objects allocated on *other* locales; the scatter lists must
+  // Retire objects allocated on *other* locales; the scatter lists must
   // ship each to its owner, where the arena accepts the free.
-  EpochManager em = EpochManager::create();
+  DistDomain domain = DistDomain::create();
   Runtime& rt = *runtime_;
   const std::uint32_t nloc = rt.numLocales();
   constexpr int kPerLocale = 32;
 
   std::vector<std::uint64_t> live_before(nloc);
   for (std::uint32_t l = 0; l < nloc; ++l) {
-    live_before[l] = rt.locale(l).arena().totalAllocations() -
-                     0;  // snapshot live via alloc/free delta below
     live_before[l] = rt.locale(l).arena().liveBlocks();
   }
 
-  coforallLocales([em, nloc] {
-    EpochToken tok = em.registerTask();
-    tok.pin();
+  coforallLocales([domain, nloc] {
+    auto guard = domain.pin();
     for (int i = 0; i < kPerLocale; ++i) {
       const std::uint32_t target =
           (Runtime::here() + 1 + static_cast<std::uint32_t>(i) % (nloc)) % nloc;
-      tok.deferDelete(gnewOn<Payload>(target));
+      guard.retire(gnewOn<Payload>(target));
     }
-    tok.unpin();
   });
-  em.clear();
-  const auto s = em.stats();
+  domain.clear();
+  const auto s = domain.stats();
   EXPECT_EQ(s.deferred, static_cast<std::uint64_t>(kPerLocale) * nloc);
   EXPECT_EQ(s.reclaimed, s.deferred);
   // No payloads left anywhere (limbo nodes are pooled, so allow them).
@@ -122,51 +119,50 @@ TEST_P(EpochManagerModeTest, RemoteObjectsReclaimedOnOwner) {
               live_before[l] + 2 * kPerLocale + 8)
         << "locale " << l;
   }
-  em.destroy();
+  domain.destroy();
 }
 
-TEST_P(EpochManagerModeTest, PinnedTokenBlocksAdvanceAcrossLocales) {
-  EpochManager em = EpochManager::create();
+TEST_P(EpochManagerModeTest, PinnedGuardBlocksAdvanceAcrossLocales) {
+  DistDomain domain = DistDomain::create();
   if (runtime_->numLocales() < 2) {
-    em.destroy();
+    domain.destroy();
     GTEST_SKIP() << "needs >= 2 locales";
   }
-  // Pin a token on locale 1, then advance once from locale 0: allowed
-  // (the token is in the current epoch). A second advance must fail.
-  EpochToken* held = nullptr;
-  onLocale(1, [&held, em] {
-    auto* tok = new EpochToken(em.registerTask());
-    tok->pin();
-    held = tok;
+  // Pin a guard on locale 1, then advance once from locale 0: allowed
+  // (the guard is in the current epoch). A second advance must fail.
+  DistGuard* held = nullptr;
+  onLocale(1, [&held, domain] {
+    held = new DistGuard(domain.pin());
   });
-  EXPECT_TRUE(em.tryReclaim());   // token in current epoch: safe
-  EXPECT_FALSE(em.tryReclaim()) << "token now one epoch behind: must block";
-  EXPECT_GE(em.stats().scans_unsafe, 1u);
+  EXPECT_TRUE(domain.tryReclaim());   // guard in current epoch: safe
+  EXPECT_FALSE(domain.tryReclaim()) << "guard now one epoch behind: must block";
+  EXPECT_GE(domain.stats().scans_unsafe, 1u);
 
   onLocale(1, [held] {
     held->unpin();
     delete held;  // unregisters
   });
-  EXPECT_TRUE(em.tryReclaim());
-  em.destroy();
+  EXPECT_TRUE(domain.tryReclaim());
+  domain.destroy();
 }
 
 TEST_P(EpochManagerModeTest, ElectionAllowsExactlyOneWinner) {
-  EpochManager em = EpochManager::create();
-  const std::uint64_t epoch_before = em.currentGlobalEpoch();
+  DistDomain domain = DistDomain::create();
+  const std::uint64_t epoch_before = domain.currentEpoch();
   std::atomic<int> wins{0};
   // All locales race to reclaim simultaneously; the two-level election
-  // must let exactly one through per round (no pinned tokens -> safe).
-  coforallLocales([em, &wins] {
-    if (em.tryReclaim()) wins.fetch_add(1);
+  // must let exactly one through per round (no pinned guards -> safe).
+  coforallLocales([domain, &wins] {
+    if (domain.tryReclaim()) wins.fetch_add(1);
   });
   EXPECT_GE(wins.load(), 1);
   const std::uint64_t advances =
-      em.implOn(0)->global_->advances.load(std::memory_order_relaxed);
+      domain.manager().implOn(0)->global_->advances.load(
+          std::memory_order_relaxed);
   EXPECT_EQ(advances, static_cast<std::uint64_t>(wins.load()));
-  EXPECT_EQ(em.currentGlobalEpoch(),
+  EXPECT_EQ(domain.currentEpoch(),
             (epoch_before - 1 + advances) % kNumEpochs + 1);
-  em.destroy();
+  domain.destroy();
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, EpochManagerModeTest, PGASNB_RUNTIME_PARAMS,
@@ -176,34 +172,34 @@ class EpochManagerTest : public RuntimeTest {};
 
 TEST_F(EpochManagerTest, HandleIsValueCapturableInForall) {
   startRuntime(4);
-  EpochManager em = EpochManager::create();
-  // Listing 3's shape: task-private tokens via per-task registration.
+  DistDomain domain = DistDomain::create();
+  // Listing 3's shape: task-private guards via per-task registration.
   CyclicArray<Payload*> objs(256);
   for (std::uint64_t i = 0; i < objs.size(); ++i) {
     objs[i] = gnewOn<Payload>(objs.domain().localeOf(i));
   }
   objs.forallTasks(
-      2, [em] { return em.registerTask(); },
-      [](EpochToken& tok, std::uint64_t, Payload*& obj) {
-        tok.pin();
-        tok.deferDelete(obj);
+      2, [domain] { return domain.attach(); },
+      [](DistGuard& guard, std::uint64_t, Payload*& obj) {
+        guard.pin();
+        guard.retire(obj);
         obj = nullptr;
-        tok.unpin();
+        guard.unpin();
       });
-  em.clear();
-  EXPECT_EQ(em.stats().reclaimed, 256u);
-  em.destroy();
+  domain.clear();
+  EXPECT_EQ(domain.stats().reclaimed, 256u);
+  domain.destroy();
 }
 
 TEST_F(EpochManagerTest, PrivatizedAccessIsCommunicationFree) {
   startRuntime(4);
-  EpochManager em = EpochManager::create();
+  DistDomain domain = DistDomain::create();
   comm::resetCounters();
-  coforallLocales([em] {
-    EpochToken tok = em.registerTask();
+  coforallLocales([domain] {
+    auto guard = domain.attach();
     for (int i = 0; i < 200; ++i) {
-      tok.pin();
-      tok.unpin();
+      guard.pin();
+      guard.unpin();
     }
   });
   const auto c = comm::counters();
@@ -211,104 +207,104 @@ TEST_F(EpochManagerTest, PrivatizedAccessIsCommunicationFree) {
   // instance -- zero network traffic.
   EXPECT_EQ(c.am_sync, 0u);
   EXPECT_EQ(c.nic_atomics, 0u);
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_F(EpochManagerTest, UgniReclaimUsesNetworkAtomicsForGlobalEpoch) {
   startRuntime(2, CommMode::ugni);
-  EpochManager em = EpochManager::create();
+  DistDomain domain = DistDomain::create();
   comm::resetCounters();
-  EXPECT_TRUE(em.tryReclaim());
+  EXPECT_TRUE(domain.tryReclaim());
   const auto c = comm::counters();
   EXPECT_GT(c.nic_atomics, 0u)
       << "global epoch election/read/write must ride the NIC under ugni";
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_F(EpochManagerTest, LosingLocalElectionReturnsImmediately) {
   startRuntime(1);
-  EpochManager em = EpochManager::create();
+  DistDomain domain = DistDomain::create();
   // Simulate an in-flight reclaimer by holding the local flag.
-  em.implHere().is_setting_epoch_.store(1, std::memory_order_seq_cst);
-  EXPECT_FALSE(em.tryReclaim());
-  EXPECT_EQ(em.stats().elections_lost_local, 1u);
-  em.implHere().is_setting_epoch_.store(0, std::memory_order_seq_cst);
-  EXPECT_TRUE(em.tryReclaim());
-  em.destroy();
+  EpochManagerImpl& impl = domain.manager().implHere();
+  impl.is_setting_epoch_.store(1, std::memory_order_seq_cst);
+  EXPECT_FALSE(domain.tryReclaim());
+  EXPECT_EQ(domain.stats().elections_lost_local, 1u);
+  impl.is_setting_epoch_.store(0, std::memory_order_seq_cst);
+  EXPECT_TRUE(domain.tryReclaim());
+  domain.destroy();
 }
 
 TEST_F(EpochManagerTest, LosingGlobalElectionClearsLocalFlag) {
   startRuntime(2);
-  EpochManager em = EpochManager::create();
-  em.implHere().global_->is_setting_epoch.write(1);
-  EXPECT_FALSE(em.tryReclaim());
-  EXPECT_EQ(em.stats().elections_lost_global, 1u);
-  EXPECT_EQ(em.implHere().is_setting_epoch_.load(std::memory_order_seq_cst),
-            0u)
+  DistDomain domain = DistDomain::create();
+  EpochManagerImpl& impl = domain.manager().implHere();
+  impl.global_->is_setting_epoch.write(1);
+  EXPECT_FALSE(domain.tryReclaim());
+  EXPECT_EQ(domain.stats().elections_lost_global, 1u);
+  EXPECT_EQ(impl.is_setting_epoch_.load(std::memory_order_seq_cst), 0u)
       << "local flag must be released after losing the global election";
-  em.implHere().global_->is_setting_epoch.write(0);
-  EXPECT_TRUE(em.tryReclaim());
-  em.destroy();
+  impl.global_->is_setting_epoch.write(0);
+  EXPECT_TRUE(domain.tryReclaim());
+  domain.destroy();
 }
 
-TEST_F(EpochManagerTest, DeferWithoutPinAborts) {
+TEST_F(EpochManagerTest, RetireWithoutPinAborts) {
   startRuntime(1);
-  EpochManager em = EpochManager::create();
-  EpochToken tok = em.registerTask();
+  DistDomain domain = DistDomain::create();
+  auto guard = domain.attach();
   Payload* p = gnew<Payload>();
-  EXPECT_DEATH(tok.deferDelete(p), "pinned");
+  EXPECT_DEATH(guard.retire(p), "pinned");
   gdelete(p);
-  tok.reset();
-  em.destroy();
+  guard.release();
+  domain.destroy();
 }
 
-TEST_F(EpochManagerTest, TokenMoveSemantics) {
+TEST_F(EpochManagerTest, GuardMoveSemantics) {
   startRuntime(1);
-  EpochManager em = EpochManager::create();
-  EpochToken a = em.registerTask();
-  a.pin();
-  EpochToken b = std::move(a);
+  DistDomain domain = DistDomain::create();
+  auto a = domain.pin();
+  DistGuard b = std::move(a);
   EXPECT_FALSE(a.valid());
   EXPECT_TRUE(b.valid());
   EXPECT_TRUE(b.pinned());
   b.unpin();
-  b.reset();
-  em.destroy();
+  b.release();
+  domain.destroy();
 }
 
 TEST_F(EpochManagerTest, ConcurrentChurnWithPeriodicReclaim) {
   startRuntime(4);
-  EpochManager em = EpochManager::create();
+  DistDomain domain = DistDomain::create();
   constexpr int kIters = 400;
-  coforallLocales([em] {
-    EpochToken tok = em.registerTask();
+  coforallLocales([domain] {
+    auto guard = domain.attach();
     int since_reclaim = 0;
     for (int i = 0; i < kIters; ++i) {
-      tok.pin();
-      tok.deferDelete(gnew<Payload>());
-      tok.unpin();
+      guard.pin();
+      guard.retire(gnew<Payload>());
+      guard.unpin();
       if (++since_reclaim == 32) {
         since_reclaim = 0;
-        tok.tryReclaim();
+        guard.tryReclaim();
       }
     }
   });
-  em.clear();
-  const auto s = em.stats();
+  domain.clear();
+  const auto s = domain.stats();
   EXPECT_EQ(s.deferred, static_cast<std::uint64_t>(kIters) * 4);
   EXPECT_EQ(s.reclaimed, s.deferred);
-  em.destroy();
+  domain.destroy();
 }
 
-TEST_F(EpochManagerTest, MultipleManagersCoexist) {
+TEST_F(EpochManagerTest, MultipleDomainsCoexist) {
   startRuntime(2);
-  EpochManager em1 = EpochManager::create();
-  EpochManager em2 = EpochManager::create();
-  EXPECT_TRUE(em1.tryReclaim());
-  EXPECT_EQ(em1.currentGlobalEpoch(), 2u);
-  EXPECT_EQ(em2.currentGlobalEpoch(), 1u) << "managers must be independent";
-  em1.destroy();
-  em2.destroy();
+  DistDomain d1 = DistDomain::create();
+  DistDomain d2 = DistDomain::create();
+  EXPECT_TRUE(d1.tryReclaim());
+  EXPECT_EQ(d1.currentEpoch(), 2u);
+  EXPECT_EQ(d2.currentEpoch(), 1u) << "domains must be independent";
+  d1.destroy();
+  d2.destroy();
 }
 
 }  // namespace

@@ -25,11 +25,11 @@ struct Canary {
 class EpochSafetyTest : public RuntimeTest {};
 
 TEST_F(EpochSafetyTest, PinnedReadersNeverSeePoison) {
-  // Shared cell per locale; writers swap fresh canaries in and defer the
+  // Shared cell per locale; writers swap fresh canaries in and retire the
   // old ones; readers everywhere validate magic under pin. tryReclaim is
   // called aggressively to maximize reclamation pressure.
   startRuntime(4, CommMode::none, 3);
-  EpochManager em = EpochManager::create();
+  DistDomain domain = DistDomain::create();
 
   struct Cell {
     AtomicObject<Canary> slot;
@@ -45,28 +45,28 @@ TEST_F(EpochSafetyTest, PinnedReadersNeverSeePoison) {
   constexpr int kWriterIters = 300;
   constexpr int kReaderIters = 600;
 
-  coforallLocales([&, em] {
+  coforallLocales([&, domain] {
     // Each locale runs one writer task and one reader task.
     TaskGroup group;
     const std::uint32_t l = Runtime::here();
-    group.spawnOn(l, [&, em, l] {
-      EpochToken tok = em.registerTask();
+    group.spawnOn(l, [&, domain, l] {
+      auto guard = domain.attach();
       Xoshiro256 rng(l * 7919 + 13);
       for (int i = 0; i < kWriterIters; ++i) {
-        tok.pin();
+        guard.pin();
         const auto victim = static_cast<std::uint32_t>(rng.nextBelow(4));
         Canary* fresh = gnew<Canary>();
         Canary* old = cells[victim]->slot.exchange(fresh);
-        if (old != nullptr) tok.deferDelete(old);
-        tok.unpin();
-        if (i % 8 == 0) tok.tryReclaim();
+        if (old != nullptr) guard.retire(old);
+        guard.unpin();
+        if (i % 8 == 0) guard.tryReclaim();
       }
     });
-    group.spawnOn(l, [&, em, l] {
-      EpochToken tok = em.registerTask();
+    group.spawnOn(l, [&, domain, l] {
+      auto guard = domain.attach();
       Xoshiro256 rng(l * 104729 + 7);
       for (int i = 0; i < kReaderIters; ++i) {
-        tok.pin();
+        guard.pin();
         const auto victim = static_cast<std::uint32_t>(rng.nextBelow(4));
         Canary* c = cells[victim]->slot.read();
         if (c != nullptr) {
@@ -75,7 +75,7 @@ TEST_F(EpochSafetyTest, PinnedReadersNeverSeePoison) {
           }
           reads_done.fetch_add(1);
         }
-        tok.unpin();
+        guard.unpin();
       }
     });
     group.wait();
@@ -93,90 +93,88 @@ TEST_F(EpochSafetyTest, PinnedReadersNeverSeePoison) {
     }
     onLocale(l, [&cells, l] { gdelete(cells[l]); });
   }
-  em.clear();
-  em.destroy();
+  domain.clear();
+  domain.destroy();
 }
 
-TEST_F(EpochSafetyTest, UnpinnedDeferredObjectsAreEventuallyPoisoned) {
+TEST_F(EpochSafetyTest, UnpinnedRetiredObjectsAreEventuallyPoisoned) {
   // Sanity check of the detection mechanism itself: after clear(), the
-  // deferred object's memory must carry the arena poison.
+  // retired object's memory must carry the arena poison.
   startRuntime(2);
-  EpochManager em = EpochManager::create();
-  EpochToken tok = em.registerTask();
-  tok.pin();
-  Canary* c = gnew<Canary>();
-  auto* raw = reinterpret_cast<volatile unsigned char*>(c);
-  tok.deferDelete(c);
-  tok.unpin();
-  em.clear();
-  // The block is free now; its tail bytes carry 0xEF (reading freed arena
-  // memory is defined within the test because the arena never unmaps).
-  bool saw_poison = false;
-  for (std::size_t i = 16; i < sizeof(Canary); ++i) {
-    if (raw[i] == 0xEF) {
-      saw_poison = true;
-      break;
+  DistDomain domain = DistDomain::create();
+  {
+    auto guard = domain.pin();
+    Canary* c = gnew<Canary>();
+    auto* raw = reinterpret_cast<volatile unsigned char*>(c);
+    guard.retire(c);
+    guard.unpin();
+    domain.clear();
+    // The block is free now; its tail bytes carry 0xEF (reading freed arena
+    // memory is defined within the test because the arena never unmaps).
+    bool saw_poison = false;
+    for (std::size_t i = 16; i < sizeof(Canary); ++i) {
+      if (raw[i] == 0xEF) {
+        saw_poison = true;
+        break;
+      }
     }
+    EXPECT_TRUE(saw_poison) << "clear() did not actually free the object";
   }
-  EXPECT_TRUE(saw_poison) << "clear() did not actually free the object";
-  tok.reset();
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_F(EpochSafetyTest, ReclaimRespectsReaderAcrossCommModes) {
   for (const CommMode mode : {CommMode::none, CommMode::ugni}) {
     startRuntime(2, mode);
-    EpochManager em = EpochManager::create();
-    EpochToken reader = em.registerTask();
-    EpochToken writer = em.registerTask();
+    DistDomain domain = DistDomain::create();
+    {
+      auto reader = domain.pin();
+      auto writer = domain.pin();
+      Canary* c = gnew<Canary>();
+      writer.retire(c);
+      writer.unpin();
 
-    reader.pin();
-    writer.pin();
-    Canary* c = gnew<Canary>();
-    writer.deferDelete(c);
-    writer.unpin();
+      // Reader still pinned in the retire epoch: no sequence of reclaims
+      // may free the canary.
+      for (int i = 0; i < 6; ++i) domain.tryReclaim();
+      EXPECT_EQ(c->magic.load(std::memory_order_acquire), Canary::kMagic)
+          << "object freed while a same-epoch reader was pinned ("
+          << toString(mode) << ")";
 
-    // Reader still pinned in the retire epoch: no sequence of reclaims may
-    // free the canary.
-    for (int i = 0; i < 6; ++i) em.tryReclaim();
-    EXPECT_EQ(c->magic.load(std::memory_order_acquire), Canary::kMagic)
-        << "object freed while a same-epoch reader was pinned ("
-        << toString(mode) << ")";
-
-    reader.unpin();
-    for (int i = 0; i < static_cast<int>(kNumEpochs); ++i) em.tryReclaim();
-    // Now it must be gone: the magic word was poisoned or reused.
-    EXPECT_NE(c->magic.load(std::memory_order_acquire), Canary::kMagic)
-        << "object never reclaimed after quiescence (" << toString(mode)
-        << ")";
-
-    reader.reset();
-    writer.reset();
-    em.destroy();
+      reader.unpin();
+      for (int i = 0; i < static_cast<int>(kNumEpochs); ++i) {
+        domain.tryReclaim();
+      }
+      // Now it must be gone: the magic word was poisoned or reused.
+      EXPECT_NE(c->magic.load(std::memory_order_acquire), Canary::kMagic)
+          << "object never reclaimed after quiescence (" << toString(mode)
+          << ")";
+    }
+    domain.destroy();
     TearDown();
   }
 }
 
 TEST_F(EpochSafetyTest, StressManySmallEpochsNoLeaksNoCrashes) {
   startRuntime(3, CommMode::none, 2);
-  EpochManager em = EpochManager::create();
+  DistDomain domain = DistDomain::create();
   constexpr int kRounds = 60;
   for (int round = 0; round < kRounds; ++round) {
-    coforallLocales([em] {
-      EpochToken tok = em.registerTask();
+    coforallLocales([domain] {
+      auto guard = domain.attach();
       for (int i = 0; i < 20; ++i) {
-        tok.pin();
-        tok.deferDelete(gnew<Canary>());
-        tok.unpin();
+        guard.pin();
+        guard.retire(gnew<Canary>());
+        guard.unpin();
       }
-      tok.tryReclaim();
+      guard.tryReclaim();
     });
   }
-  em.clear();
-  const auto s = em.stats();
+  domain.clear();
+  const auto s = domain.stats();
   EXPECT_EQ(s.deferred, static_cast<std::uint64_t>(kRounds) * 3 * 20);
-  EXPECT_EQ(s.reclaimed, s.deferred) << "every deferred object reclaimed";
-  em.destroy();
+  EXPECT_EQ(s.reclaimed, s.deferred) << "every retired object reclaimed";
+  domain.destroy();
 }
 
 }  // namespace

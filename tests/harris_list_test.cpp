@@ -15,127 +15,112 @@ namespace {
 using List = HarrisList<std::uint64_t, std::uint64_t>;
 
 TEST(HarrisList, EmptyFindsNothing) {
-  LocalEpochManager em;
+  LocalDomain domain;
   List list;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  EXPECT_FALSE(list.find(tok, 5).has_value());
-  EXPECT_FALSE(list.contains(tok, 0));
-  tok.unpin();
+  auto guard = domain.pin();
+  EXPECT_FALSE(list.find(guard, 5).has_value());
+  EXPECT_FALSE(list.contains(guard, 0));
 }
 
 TEST(HarrisList, InsertThenFind) {
-  LocalEpochManager em;
+  LocalDomain domain;
   List list;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  EXPECT_TRUE(list.insert(tok, 10, 100));
-  EXPECT_TRUE(list.insert(tok, 5, 50));
-  EXPECT_TRUE(list.insert(tok, 20, 200));
-  EXPECT_EQ(*list.find(tok, 10), 100u);
-  EXPECT_EQ(*list.find(tok, 5), 50u);
-  EXPECT_EQ(*list.find(tok, 20), 200u);
-  EXPECT_FALSE(list.find(tok, 15).has_value());
+  auto guard = domain.pin();
+  EXPECT_TRUE(list.insert(guard, 10, 100));
+  EXPECT_TRUE(list.insert(guard, 5, 50));
+  EXPECT_TRUE(list.insert(guard, 20, 200));
+  EXPECT_EQ(*list.find(guard, 10), 100u);
+  EXPECT_EQ(*list.find(guard, 5), 50u);
+  EXPECT_EQ(*list.find(guard, 20), 200u);
+  EXPECT_FALSE(list.find(guard, 15).has_value());
   EXPECT_EQ(list.sizeApprox(), 3u);
-  tok.unpin();
 }
 
 TEST(HarrisList, DuplicateInsertRejected) {
-  LocalEpochManager em;
+  LocalDomain domain;
   List list;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  EXPECT_TRUE(list.insert(tok, 7, 1));
-  EXPECT_FALSE(list.insert(tok, 7, 2));
-  EXPECT_EQ(*list.find(tok, 7), 1u) << "original value preserved";
+  auto guard = domain.pin();
+  EXPECT_TRUE(list.insert(guard, 7, 1));
+  EXPECT_FALSE(list.insert(guard, 7, 2));
+  EXPECT_EQ(*list.find(guard, 7), 1u) << "original value preserved";
   EXPECT_EQ(list.sizeApprox(), 1u);
-  tok.unpin();
 }
 
 TEST(HarrisList, RemoveReturnsValue) {
-  LocalEpochManager em;
+  LocalDomain domain;
   List list;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  list.insert(tok, 1, 11);
-  list.insert(tok, 2, 22);
-  auto removed = list.remove(tok, 1);
+  auto guard = domain.pin();
+  list.insert(guard, 1, 11);
+  list.insert(guard, 2, 22);
+  auto removed = list.remove(guard, 1);
   ASSERT_TRUE(removed.has_value());
   EXPECT_EQ(*removed, 11u);
-  EXPECT_FALSE(list.contains(tok, 1));
-  EXPECT_TRUE(list.contains(tok, 2));
-  EXPECT_FALSE(list.remove(tok, 1).has_value()) << "double remove";
-  tok.unpin();
+  EXPECT_FALSE(list.contains(guard, 1));
+  EXPECT_TRUE(list.contains(guard, 2));
+  EXPECT_FALSE(list.remove(guard, 1).has_value()) << "double remove";
 }
 
 TEST(HarrisList, ReinsertAfterRemove) {
-  LocalEpochManager em;
+  LocalDomain domain;
   List list;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  list.insert(tok, 9, 90);
-  list.remove(tok, 9);
-  EXPECT_TRUE(list.insert(tok, 9, 91));
-  EXPECT_EQ(*list.find(tok, 9), 91u);
-  tok.unpin();
+  auto guard = domain.pin();
+  list.insert(guard, 9, 90);
+  list.remove(guard, 9);
+  EXPECT_TRUE(list.insert(guard, 9, 91));
+  EXPECT_EQ(*list.find(guard, 9), 91u);
 }
 
 TEST(HarrisList, BoundaryKeys) {
-  LocalEpochManager em;
+  LocalDomain domain;
   List list;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  EXPECT_TRUE(list.insert(tok, 0, 1));
-  EXPECT_TRUE(list.insert(tok, ~std::uint64_t{0} - 1, 2));
-  EXPECT_TRUE(list.contains(tok, 0));
-  EXPECT_TRUE(list.contains(tok, ~std::uint64_t{0} - 1));
-  tok.unpin();
+  auto guard = domain.pin();
+  EXPECT_TRUE(list.insert(guard, 0, 1));
+  EXPECT_TRUE(list.insert(guard, ~std::uint64_t{0} - 1, 2));
+  EXPECT_TRUE(list.contains(guard, 0));
+  EXPECT_TRUE(list.contains(guard, ~std::uint64_t{0} - 1));
 }
 
-TEST(HarrisList, RemovedNodesFlowThroughEpochManager) {
-  LocalEpochManager em;
+TEST(HarrisList, RemovedNodesFlowThroughDomain) {
+  LocalDomain domain;
   {
     List list;
-    LocalEpochToken tok = em.registerTask();
-    tok.pin();
-    for (std::uint64_t k = 0; k < 40; ++k) list.insert(tok, k, k);
-    for (std::uint64_t k = 0; k < 40; ++k) list.remove(tok, k);
-    tok.unpin();
-    tok.reset();
-    EXPECT_EQ(em.stats().deferred, 40u);
-    em.clear();
-    EXPECT_EQ(em.stats().reclaimed, 40u);
+    {
+      auto guard = domain.pin();
+      for (std::uint64_t k = 0; k < 40; ++k) list.insert(guard, k, k);
+      for (std::uint64_t k = 0; k < 40; ++k) list.remove(guard, k);
+    }
+    EXPECT_EQ(domain.stats().deferred, 40u);
+    domain.clear();
+    EXPECT_EQ(domain.stats().reclaimed, 40u);
   }
 }
 
 TEST(HarrisList, ConcurrentInsertsAllLand) {
-  LocalEpochManager em;
+  LocalDomain domain;
   List list;
   constexpr int kThreads = 4;
   constexpr std::uint64_t kPerThread = 4000;
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      LocalEpochToken tok = em.registerTask();
+      auto guard = domain.attach();
       for (std::uint64_t i = 0; i < kPerThread; ++i) {
-        tok.pin();
-        EXPECT_TRUE(list.insert(tok, t * kPerThread + i, i));
-        tok.unpin();
+        guard.pin();
+        EXPECT_TRUE(list.insert(guard, t * kPerThread + i, i));
+        guard.unpin();
       }
     });
   }
   for (auto& th : threads) th.join();
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
+  auto guard = domain.pin();
   for (std::uint64_t k = 0; k < kThreads * kPerThread; ++k) {
-    ASSERT_TRUE(list.contains(tok, k)) << "missing key " << k;
+    ASSERT_TRUE(list.contains(guard, k)) << "missing key " << k;
   }
-  tok.unpin();
   EXPECT_EQ(list.sizeApprox(), kThreads * kPerThread);
 }
 
 TEST(HarrisList, ConcurrentMixedChurnStaysConsistent) {
-  LocalEpochManager em;
+  LocalDomain domain;
   List list;
   constexpr int kThreads = 4;
   constexpr int kIters = 8000;
@@ -145,18 +130,18 @@ TEST(HarrisList, ConcurrentMixedChurnStaysConsistent) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      LocalEpochToken tok = em.registerTask();
+      auto guard = domain.attach();
       Xoshiro256 rng(t * 31 + 1);
       for (int i = 0; i < kIters; ++i) {
         const std::uint64_t key = rng.nextBelow(kKeySpace);
-        tok.pin();
+        guard.pin();
         if (rng.nextBool(0.5)) {
-          if (list.insert(tok, key, key)) net_inserts.fetch_add(1);
+          if (list.insert(guard, key, key)) net_inserts.fetch_add(1);
         } else {
-          if (list.remove(tok, key).has_value()) net_inserts.fetch_sub(1);
+          if (list.remove(guard, key).has_value()) net_inserts.fetch_sub(1);
         }
-        tok.unpin();
-        if ((i & 255) == 0) tok.tryReclaim();
+        guard.unpin();
+        if ((i & 255) == 0) guard.tryReclaim();
       }
     });
   }
@@ -164,32 +149,29 @@ TEST(HarrisList, ConcurrentMixedChurnStaysConsistent) {
 
   // The list's contents must equal the net insert count, and every present
   // key maps to itself.
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  long present = 0;
-  for (std::uint64_t k = 0; k < kKeySpace; ++k) {
-    if (auto v = list.find(tok, k)) {
-      EXPECT_EQ(*v, k);
-      ++present;
+  {
+    auto guard = domain.pin();
+    long present = 0;
+    for (std::uint64_t k = 0; k < kKeySpace; ++k) {
+      if (auto v = list.find(guard, k)) {
+        EXPECT_EQ(*v, k);
+        ++present;
+      }
     }
+    EXPECT_EQ(present, net_inserts.load());
   }
-  tok.unpin();
-  EXPECT_EQ(present, net_inserts.load());
-  tok.reset();
-  em.clear();
-  EXPECT_EQ(em.stats().reclaimed, em.stats().deferred);
+  domain.clear();
+  EXPECT_EQ(domain.stats().reclaimed, domain.stats().deferred);
 }
 
 TEST(HarrisList, StringValues) {
-  LocalEpochManager em;
+  LocalDomain domain;
   HarrisList<std::uint64_t, std::string> list;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  list.insert(tok, 1, "one");
-  list.insert(tok, 2, "two");
-  EXPECT_EQ(*list.find(tok, 2), "two");
-  EXPECT_EQ(*list.remove(tok, 1), "one");
-  tok.unpin();
+  auto guard = domain.pin();
+  list.insert(guard, 1, "one");
+  list.insert(guard, 2, "two");
+  EXPECT_EQ(*list.find(guard, 2), "two");
+  EXPECT_EQ(*list.remove(guard, 1), "one");
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 // InterlockedHashTable: the distributed hash map (paper's future-work
-// application, built on AtomicObject + EpochManager).
+// application, built on AtomicObject + the distributed reclaim domain).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -16,8 +16,8 @@ using testing::RuntimeTest;
 class IhtModeTest : public RuntimeParamTest {};
 
 TEST_P(IhtModeTest, InsertFindErase) {
-  EpochManager em = EpochManager::create();
-  auto table = InterlockedHashTable<std::uint64_t>::create(64, em);
+  DistDomain domain = DistDomain::create();
+  auto table = InterlockedHashTable<std::uint64_t>::create(64, domain);
   EXPECT_TRUE(table.valid());
 
   EXPECT_TRUE(table.insert(1, 100));
@@ -35,12 +35,12 @@ TEST_P(IhtModeTest, InsertFindErase) {
   EXPECT_FALSE(table.erase(1).has_value());
 
   table.destroy();
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_P(IhtModeTest, SizeCountsAcrossLocales) {
-  EpochManager em = EpochManager::create();
-  auto table = InterlockedHashTable<std::uint64_t>::create(32, em);
+  DistDomain domain = DistDomain::create();
+  auto table = InterlockedHashTable<std::uint64_t>::create(32, domain);
   constexpr std::uint64_t kN = 300;
   for (std::uint64_t k = 0; k < kN; ++k) {
     ASSERT_TRUE(table.insert(k, k * 2));
@@ -51,12 +51,12 @@ TEST_P(IhtModeTest, SizeCountsAcrossLocales) {
   }
   EXPECT_EQ(table.sizeApprox(), kN / 2);
   table.destroy();
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_P(IhtModeTest, ConcurrentInsertsFromAllLocales) {
-  EpochManager em = EpochManager::create();
-  auto table = InterlockedHashTable<std::uint64_t>::create(128, em);
+  DistDomain domain = DistDomain::create();
+  auto table = InterlockedHashTable<std::uint64_t>::create(128, domain);
   constexpr std::uint64_t kPerLocale = 100;
   coforallLocales([table] {
     const std::uint64_t base = Runtime::here() * kPerLocale;
@@ -73,7 +73,7 @@ TEST_P(IhtModeTest, ConcurrentInsertsFromAllLocales) {
     }
   });
   table.destroy();
-  em.destroy();
+  domain.destroy();
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, IhtModeTest, PGASNB_RUNTIME_PARAMS,
@@ -83,9 +83,9 @@ class IhtTest : public RuntimeTest {};
 
 TEST_F(IhtTest, CollidingKeysShareBucketCorrectly) {
   startRuntime(2);
-  EpochManager em = EpochManager::create();
+  DistDomain domain = DistDomain::create();
   // One bucket: every key collides; the bucket list must still be exact.
-  auto table = InterlockedHashTable<std::uint64_t>::create(1, em);
+  auto table = InterlockedHashTable<std::uint64_t>::create(1, domain);
   for (std::uint64_t k = 0; k < 50; ++k) EXPECT_TRUE(table.insert(k, k + 1));
   for (std::uint64_t k = 0; k < 50; ++k) EXPECT_EQ(*table.find(k), k + 1);
   for (std::uint64_t k = 0; k < 50; k += 2) {
@@ -95,18 +95,18 @@ TEST_F(IhtTest, CollidingKeysShareBucketCorrectly) {
     EXPECT_EQ(table.find(k).has_value(), k % 2 == 1);
   }
   table.destroy();
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_F(IhtTest, MixedChurnConservesNetInserts) {
   startRuntime(3);
-  EpochManager em = EpochManager::create();
-  auto table = InterlockedHashTable<std::uint64_t>::create(64, em);
+  DistDomain domain = DistDomain::create();
+  auto table = InterlockedHashTable<std::uint64_t>::create(64, domain);
   constexpr int kIters = 300;
   constexpr std::uint64_t kKeySpace = 128;
   std::atomic<long> net{0};
-  coforallLocales([table, &net, em] {
-    EpochToken tok = em.registerTask();
+  coforallLocales([table, &net, domain] {
+    auto guard = domain.attach();
     Xoshiro256 rng(Runtime::here() * 13 + 5);
     for (int i = 0; i < kIters; ++i) {
       const std::uint64_t key = rng.nextBelow(kKeySpace);
@@ -115,7 +115,7 @@ TEST_F(IhtTest, MixedChurnConservesNetInserts) {
       } else {
         if (table.erase(key).has_value()) net.fetch_sub(1);
       }
-      if ((i & 63) == 0) tok.tryReclaim();
+      if ((i & 63) == 0) guard.tryReclaim();
     }
   });
   EXPECT_EQ(table.sizeApprox(), static_cast<std::uint64_t>(net.load()));
@@ -125,32 +125,56 @@ TEST_F(IhtTest, MixedChurnConservesNetInserts) {
   }
   EXPECT_EQ(present, net.load());
   table.destroy();
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_F(IhtTest, BucketsAreDistributedAcrossLocales) {
   startRuntime(4);
-  EpochManager em = EpochManager::create();
-  auto table = InterlockedHashTable<std::uint64_t>::create(64, em);
+  DistDomain domain = DistDomain::create();
+  auto table = InterlockedHashTable<std::uint64_t>::create(64, domain);
   // Inserting many keys must touch remote locales: count sync AMs.
   comm::resetCounters();
   for (std::uint64_t k = 0; k < 200; ++k) table.insert(k, k);
   EXPECT_GT(comm::counters().am_sync, 0u)
       << "bucket operations must execute on owning locales";
   table.destroy();
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_F(IhtTest, ValuesCanBeUpdatedViaEraseInsert) {
   startRuntime(2);
-  EpochManager em = EpochManager::create();
-  auto table = InterlockedHashTable<std::uint64_t>::create(16, em);
+  DistDomain domain = DistDomain::create();
+  auto table = InterlockedHashTable<std::uint64_t>::create(16, domain);
   table.insert(5, 1);
   EXPECT_EQ(*table.erase(5), 1u);
   EXPECT_TRUE(table.insert(5, 2));
   EXPECT_EQ(*table.find(5), 2u);
   table.destroy();
-  em.destroy();
+  domain.destroy();
+}
+
+TEST(IhtLocalDomain, SingleShardSharedMemoryVariant) {
+  // The same table body on a LocalDomain: one shard, in-place execution,
+  // no runtime or communication layer involved.
+  LocalDomain domain;
+  auto table =
+      InterlockedHashTable<std::uint64_t, LocalDomain>::create(16, domain);
+  EXPECT_TRUE(table.valid());
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_TRUE(table.insert(k, k * 3));
+  }
+  EXPECT_FALSE(table.insert(7, 1)) << "duplicate key";
+  EXPECT_EQ(table.sizeApprox(), 200u);
+  for (std::uint64_t k = 0; k < 200; k += 2) {
+    EXPECT_EQ(*table.erase(k), k * 3);
+  }
+  EXPECT_EQ(table.sizeApprox(), 100u);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(table.find(k).has_value(), k % 2 == 1);
+  }
+  table.destroy();
+  EXPECT_FALSE(table.valid());
+  EXPECT_EQ(domain.stats().reclaimed, domain.stats().deferred);
 }
 
 }  // namespace

@@ -1,4 +1,5 @@
-// End-to-end integration: the paper's usage patterns, whole-stack.
+// End-to-end integration: the paper's usage patterns, whole-stack, via the
+// Domain/Guard API.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -14,15 +15,14 @@ class IntegrationTest : public RuntimeTest {};
 
 TEST_F(IntegrationTest, PaperListing3UsagePattern) {
   // var em = new EpochManager();
-  // Serial: register/pin/unpin/unregister.
-  // Parallel+distributed: forall with task-private tokens; em.clear().
+  // Serial: pin/unpin within one guard scope.
+  // Parallel+distributed: forall with task-private guards; domain.clear().
   startRuntime(4);
-  EpochManager em = EpochManager::create();
+  DistDomain domain = DistDomain::create();
 
   {
-    EpochToken tok = em.registerTask();
-    tok.pin();
-    tok.unpin();
+    auto guard = domain.pin();
+    guard.unpin();
   }  // automatic unregister
 
   struct C {
@@ -33,23 +33,23 @@ TEST_F(IntegrationTest, PaperListing3UsagePattern) {
     objs[i] = gnewOn<C>(objs.domain().localeOf(i));
   }
   objs.forallTasks(
-      2, [em] { return em.registerTask(); },
-      [](EpochToken& tok, std::uint64_t, C*& x) {
-        tok.pin();
-        tok.deferDelete(x);
+      2, [domain] { return domain.attach(); },
+      [](DistGuard& guard, std::uint64_t, C*& x) {
+        guard.pin();
+        guard.retire(x);
         x = nullptr;
-        tok.unpin();
+        guard.unpin();
       });  // automatic unregister per task
-  em.clear();  // Reclaim everything at once.
-  EXPECT_EQ(em.stats().reclaimed, 128u);
-  em.destroy();
+  domain.clear();  // Reclaim everything at once.
+  EXPECT_EQ(domain.stats().reclaimed, 128u);
+  domain.destroy();
 }
 
 TEST_F(IntegrationTest, PaperListing5Microbenchmark) {
   // The EpochManager microbenchmark: randomized object locales, periodic
   // tryReclaim, final clear -- the shape of Figures 4-6.
   startRuntime(4);
-  EpochManager em = EpochManager::create();
+  DistDomain domain = DistDomain::create();
   constexpr std::uint64_t kNumObjects = 1024;
 
   struct C {
@@ -64,46 +64,44 @@ TEST_F(IntegrationTest, PaperListing5Microbenchmark) {
   }
 
   objs.forallTasks(
-      2, [em] { return std::pair<EpochToken, int>(em.registerTask(), 0); },
+      2, [domain] { return std::pair<DistGuard, int>(domain.attach(), 0); },
       [](auto& state, std::uint64_t, C*& obj) {
-        auto& [tok, m] = state;
-        tok.pin();
-        tok.deferDelete(obj);
+        auto& [guard, m] = state;
+        guard.pin();
+        guard.retire(obj);
         obj = nullptr;
-        tok.unpin();
-        if (++m % 64 == 0) tok.tryReclaim();  // perIteration = 64
+        guard.unpin();
+        if (++m % 64 == 0) guard.tryReclaim();  // perIteration = 64
       });
 
-  em.clear();
-  const auto s = em.stats();
+  domain.clear();
+  const auto s = domain.stats();
   EXPECT_EQ(s.deferred, kNumObjects);
   EXPECT_EQ(s.reclaimed, kNumObjects);
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_F(IntegrationTest, DistributedWorkQueueOverDistStack) {
   // Producer/consumer across locales: locale 0 produces work items, all
   // locales consume and accumulate; EBR reclaims the nodes.
   startRuntime(4);
-  EpochManager em = EpochManager::create();
-  auto* stack = DistStack<std::uint64_t>::create(em);
+  DistDomain domain = DistDomain::create();
+  auto* stack = DistStack<std::uint64_t>::create(domain);
   constexpr std::uint64_t kItems = 400;
 
   {
-    EpochToken tok = em.registerTask();
-    tok.pin();
-    for (std::uint64_t i = 1; i <= kItems; ++i) stack->push(tok, i);
-    tok.unpin();
+    auto guard = domain.pin();
+    for (std::uint64_t i = 1; i <= kItems; ++i) stack->push(guard, i);
   }
 
   std::atomic<std::uint64_t> sum{0};
   std::atomic<std::uint64_t> count{0};
-  coforallLocales([em, stack, &sum, &count] {
-    EpochToken tok = em.registerTask();
+  coforallLocales([domain, stack, &sum, &count] {
+    auto guard = domain.attach();
     while (true) {
-      tok.pin();
-      auto item = stack->pop(tok);
-      tok.unpin();
+      guard.pin();
+      auto item = stack->pop(guard);
+      guard.unpin();
       if (!item.has_value()) break;
       sum.fetch_add(*item, std::memory_order_relaxed);
       count.fetch_add(1, std::memory_order_relaxed);
@@ -113,40 +111,38 @@ TEST_F(IntegrationTest, DistributedWorkQueueOverDistStack) {
   EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2);
 
   DistStack<std::uint64_t>::destroy(stack);
-  em.destroy();
+  domain.destroy();
 }
 
-TEST_F(IntegrationTest, HashTableAndStackShareOneEpochManager) {
+TEST_F(IntegrationTest, HashTableAndStackShareOneDomain) {
   startRuntime(3);
-  EpochManager em = EpochManager::create();
-  auto table = InterlockedHashTable<std::uint64_t>::create(32, em);
-  auto* stack = DistStack<std::uint64_t>::create(em);
+  DistDomain domain = DistDomain::create();
+  auto table = InterlockedHashTable<std::uint64_t>::create(32, domain);
+  auto* stack = DistStack<std::uint64_t>::create(domain);
 
-  coforallLocales([em, table, stack] {
-    EpochToken tok = em.registerTask();
+  coforallLocales([domain, table, stack] {
+    auto guard = domain.attach();
     const std::uint64_t base = Runtime::here() * 1000;
     for (std::uint64_t i = 0; i < 50; ++i) {
       table.insert(base + i, i);
-      tok.pin();
-      stack->push(tok, base + i);
-      tok.unpin();
+      guard.pin();
+      stack->push(guard, base + i);
+      guard.unpin();
     }
-    tok.tryReclaim();
+    guard.tryReclaim();
   });
 
   EXPECT_EQ(table.sizeApprox(), 150u);
   std::uint64_t drained = 0;
   {
-    EpochToken tok = em.registerTask();
-    tok.pin();
-    while (stack->pop(tok).has_value()) ++drained;
-    tok.unpin();
+    auto guard = domain.pin();
+    while (stack->pop(guard).has_value()) ++drained;
   }
   EXPECT_EQ(drained, 150u);
 
   DistStack<std::uint64_t>::destroy(stack);
   table.destroy();
-  em.destroy();
+  domain.destroy();
 }
 
 TEST_F(IntegrationTest, CommModesProduceIdenticalResults) {
@@ -155,8 +151,8 @@ TEST_F(IntegrationTest, CommModesProduceIdenticalResults) {
   int idx = 0;
   for (const CommMode mode : {CommMode::none, CommMode::ugni}) {
     startRuntime(3, mode);
-    EpochManager em = EpochManager::create();
-    auto table = InterlockedHashTable<std::uint64_t>::create(16, em);
+    DistDomain domain = DistDomain::create();
+    auto table = InterlockedHashTable<std::uint64_t>::create(16, domain);
     for (std::uint64_t k = 0; k < 100; ++k) table.insert(k, k * 3);
     for (std::uint64_t k = 0; k < 100; k += 3) table.erase(k);
     std::uint64_t checksum = 0;
@@ -165,10 +161,49 @@ TEST_F(IntegrationTest, CommModesProduceIdenticalResults) {
     }
     results[idx++] = checksum;
     table.destroy();
-    em.destroy();
+    domain.destroy();
     TearDown();
   }
   EXPECT_EQ(results[0], results[1]);
+}
+
+TEST_F(IntegrationTest, MixedDomainsCoexistInOneProcess) {
+  // A shared-memory LocalDomain structure working alongside the
+  // distributed stack of a DistDomain: one program, both faces of the
+  // unified API.
+  startRuntime(2);
+  DistDomain dist = DistDomain::create();
+  LocalDomain local;
+
+  auto* stack = DistStack<std::uint64_t>::create(dist);
+  EbrStack<std::uint64_t, LocalDomain> scratch(local);
+
+  {
+    auto dguard = dist.pin();
+    auto lguard = local.pin();
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      stack->push(dguard, i);
+      scratch.push(lguard, i * 10);
+    }
+    std::uint64_t moved = 0;
+    while (auto v = scratch.pop(lguard)) {
+      stack->push(dguard, *v);
+      ++moved;
+    }
+    EXPECT_EQ(moved, 32u);
+  }
+
+  std::uint64_t drained = 0;
+  {
+    auto guard = dist.pin();
+    while (stack->pop(guard).has_value()) ++drained;
+  }
+  EXPECT_EQ(drained, 64u);
+
+  local.clear();
+  EXPECT_EQ(local.stats().reclaimed, local.stats().deferred);
+  DistStack<std::uint64_t>::destroy(stack);
+  dist.destroy();
 }
 
 TEST_F(IntegrationTest, SimulatedTimeIsDeterministicEnough) {

@@ -1,12 +1,12 @@
-// LocalEpochManager: shared-memory EBR semantics, including the
-// two-advance reclamation rule and non-blocking elections.
+// LocalDomain (shared-memory EBR) semantics, including the grace-period
+// reclamation rule and non-blocking elections, via the Domain/Guard API.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <thread>
 #include <vector>
 
-#include "epoch/local_epoch_manager.hpp"
+#include "epoch/domain.hpp"
 
 namespace pgasnb {
 namespace {
@@ -19,189 +19,177 @@ struct Tracked {
 };
 std::atomic<int> Tracked::live{0};
 
-TEST(LocalEpochManager, RegisterPinUnpinCycle) {
-  LocalEpochManager em;
-  LocalEpochToken tok = em.registerTask();
-  EXPECT_TRUE(tok.valid());
-  EXPECT_FALSE(tok.pinned());
-  tok.pin();
-  EXPECT_TRUE(tok.pinned());
-  EXPECT_EQ(tok.epoch(), em.currentEpoch());
-  tok.unpin();
-  EXPECT_FALSE(tok.pinned());
+TEST(LocalDomain, RegisterPinUnpinCycle) {
+  LocalDomain domain;
+  auto guard = domain.attach();
+  EXPECT_TRUE(guard.valid());
+  EXPECT_FALSE(guard.pinned());
+  guard.pin();
+  EXPECT_TRUE(guard.pinned());
+  EXPECT_EQ(guard.epoch(), domain.currentEpoch());
+  guard.unpin();
+  EXPECT_FALSE(guard.pinned());
 }
 
-TEST(LocalEpochManager, PinIsIdempotent) {
-  LocalEpochManager em;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  const std::uint64_t e = tok.epoch();
-  tok.pin();  // second pin: no-op, keeps the epoch
-  EXPECT_EQ(tok.epoch(), e);
-  tok.unpin();
+TEST(LocalDomain, PinIsIdempotent) {
+  LocalDomain domain;
+  auto guard = domain.pin();
+  const std::uint64_t e = guard.epoch();
+  guard.pin();  // second pin: no-op, keeps the epoch
+  EXPECT_EQ(guard.epoch(), e);
 }
 
-TEST(LocalEpochManager, TokenResetUnregisters) {
-  LocalEpochManager em;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  tok.reset();
-  EXPECT_FALSE(tok.valid());
-  // The manager can now advance freely: the released token is quiescent.
-  EXPECT_TRUE(em.tryReclaim());
+TEST(LocalDomain, GuardReleaseUnregisters) {
+  LocalDomain domain;
+  auto guard = domain.pin();
+  guard.release();
+  EXPECT_FALSE(guard.valid());
+  // The domain can now advance freely: the released guard is quiescent.
+  EXPECT_TRUE(domain.tryReclaim());
 }
 
-TEST(LocalEpochManager, ScopeExitUnregisters) {
-  LocalEpochManager em;
+TEST(LocalDomain, ScopeExitUnregisters) {
+  LocalDomain domain;
   {
-    LocalEpochToken tok = em.registerTask();
-    tok.pin();
+    auto guard = domain.pin();
   }  // RAII unregister, like the paper's managed token wrapper
-  EXPECT_TRUE(em.tryReclaim());
+  EXPECT_TRUE(domain.tryReclaim());
 }
 
-TEST(LocalEpochManager, DeferWithoutPinAborts) {
-  LocalEpochManager em;
-  LocalEpochToken tok = em.registerTask();
+TEST(LocalDomain, RetireWithoutPinAborts) {
+  LocalDomain domain;
+  auto guard = domain.attach();
   auto* obj = new Tracked;
-  EXPECT_DEATH(tok.deferDelete(obj), "pinned");
+  EXPECT_DEATH(guard.retire(obj), "pinned");
   delete obj;
 }
 
-TEST(LocalEpochManager, ReclaimWaitsForGracePeriods) {
-  // The heart of EBR: an object deferred in epoch e is reclaimed only
+TEST(LocalDomain, ReclaimWaitsForGracePeriods) {
+  // The heart of EBR: an object retired in epoch e is reclaimed only
   // after enough advances that no task pinned at removal time remains
   // (three advances with our four-list hardening; see token.hpp).
-  LocalEpochManager em;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
+  LocalDomain domain;
+  auto guard = domain.pin();
   auto* obj = new Tracked;
-  tok.deferDelete(obj);
-  tok.unpin();
+  guard.retire(obj);
+  guard.unpin();
   EXPECT_EQ(Tracked::live.load(), 1);
 
-  EXPECT_TRUE(em.tryReclaim());  // advance #1: object survives
+  EXPECT_TRUE(domain.tryReclaim());  // advance #1: object survives
   EXPECT_EQ(Tracked::live.load(), 1) << "freed too early (one advance)";
-  EXPECT_TRUE(em.tryReclaim());  // advance #2: still too early
+  EXPECT_TRUE(domain.tryReclaim());  // advance #2: still too early
   EXPECT_EQ(Tracked::live.load(), 1) << "freed too early (two advances)";
-  EXPECT_TRUE(em.tryReclaim());  // advance #3: must be gone now
+  EXPECT_TRUE(domain.tryReclaim());  // advance #3: must be gone now
   EXPECT_EQ(Tracked::live.load(), 0);
 }
 
-TEST(LocalEpochManager, ExactReclaimEpochIsThirdAdvance) {
-  LocalEpochManager em;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
+TEST(LocalDomain, ExactReclaimEpochIsThirdAdvance) {
+  LocalDomain domain;
+  auto guard = domain.pin();
   auto* obj = new Tracked;
-  tok.deferDelete(obj);  // lands in the list of epoch 1
-  tok.unpin();
-  EXPECT_TRUE(em.tryReclaim());  // -> epoch 2
+  guard.retire(obj);  // lands in the list of epoch 1
+  guard.unpin();
+  EXPECT_TRUE(domain.tryReclaim());  // -> epoch 2
   EXPECT_EQ(Tracked::live.load(), 1);
-  EXPECT_TRUE(em.tryReclaim());  // -> epoch 3
+  EXPECT_TRUE(domain.tryReclaim());  // -> epoch 3
   EXPECT_EQ(Tracked::live.load(), 1);
-  EXPECT_TRUE(em.tryReclaim());  // -> epoch 4, reclaims list of epoch 1
+  EXPECT_TRUE(domain.tryReclaim());  // -> epoch 4, reclaims list of epoch 1
   EXPECT_EQ(Tracked::live.load(), 0)
       << "the third advance reclaims epoch 1's limbo list";
 }
 
-TEST(LocalEpochManager, PinnedOldTokenBlocksAdvance) {
-  LocalEpochManager em;
-  LocalEpochToken oldster = em.registerTask();
-  oldster.pin();  // pinned in epoch 1 == current: does not block (Fig. 1)
+TEST(LocalDomain, PinnedOldGuardBlocksAdvance) {
+  LocalDomain domain;
+  auto oldster = domain.pin();  // pinned in epoch 1 == current: no block
 
-  EXPECT_TRUE(em.tryReclaim());
-  EXPECT_EQ(em.currentEpoch(), 2u);
-  // Now the token is one epoch behind: every further advance must fail.
-  EXPECT_FALSE(em.tryReclaim()) << "cannot advance past a lagging token";
-  EXPECT_FALSE(em.tryReclaim());
-  EXPECT_EQ(em.currentEpoch(), 2u);
-  EXPECT_EQ(em.stats().scans_unsafe, 2u);
+  EXPECT_TRUE(domain.tryReclaim());
+  EXPECT_EQ(domain.currentEpoch(), 2u);
+  // Now the guard is one epoch behind: every further advance must fail.
+  EXPECT_FALSE(domain.tryReclaim()) << "cannot advance past a lagging guard";
+  EXPECT_FALSE(domain.tryReclaim());
+  EXPECT_EQ(domain.currentEpoch(), 2u);
+  EXPECT_EQ(domain.stats().scans_unsafe, 2u);
 
   oldster.unpin();
-  EXPECT_TRUE(em.tryReclaim());
-  EXPECT_EQ(em.currentEpoch(), 3u);
+  EXPECT_TRUE(domain.tryReclaim());
+  EXPECT_EQ(domain.currentEpoch(), 3u);
 }
 
-TEST(LocalEpochManager, TokenInCurrentEpochDoesNotBlock) {
-  LocalEpochManager em;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();  // epoch 1 == current: advance is allowed (paper Fig. 1, t2)
-  EXPECT_TRUE(em.tryReclaim());
-  EXPECT_EQ(em.currentEpoch(), 2u);
-  // But now the token (still pinned in 1) blocks the *next* advance.
-  EXPECT_FALSE(em.tryReclaim());
-  tok.unpin();
+TEST(LocalDomain, GuardInCurrentEpochDoesNotBlock) {
+  LocalDomain domain;
+  auto guard = domain.pin();  // epoch 1 == current: advance allowed (Fig. 1)
+  EXPECT_TRUE(domain.tryReclaim());
+  EXPECT_EQ(domain.currentEpoch(), 2u);
+  // But now the guard (still pinned in 1) blocks the *next* advance.
+  EXPECT_FALSE(domain.tryReclaim());
 }
 
-TEST(LocalEpochManager, ClearReclaimsEverythingAtOnce) {
-  LocalEpochManager em;
+TEST(LocalDomain, ClearReclaimsEverythingAtOnce) {
+  LocalDomain domain;
   {
-    LocalEpochToken tok = em.registerTask();
-    tok.pin();
-    for (int i = 0; i < 100; ++i) tok.deferDelete(new Tracked);
-    tok.unpin();
+    auto guard = domain.pin();
+    for (int i = 0; i < 100; ++i) guard.retire(new Tracked);
   }
   EXPECT_EQ(Tracked::live.load(), 100);
-  em.clear();
+  domain.clear();
   EXPECT_EQ(Tracked::live.load(), 0);
-  const auto s = em.stats();
+  const auto s = domain.stats();
   EXPECT_EQ(s.deferred, 100u);
   EXPECT_EQ(s.reclaimed, 100u);
 }
 
-TEST(LocalEpochManager, DestructorClears) {
+TEST(LocalDomain, DestructorClears) {
   {
-    LocalEpochManager em;
-    LocalEpochToken tok = em.registerTask();
-    tok.pin();
-    for (int i = 0; i < 10; ++i) tok.deferDelete(new Tracked);
-    tok.unpin();
-    tok.reset();
+    LocalDomain domain;
+    {
+      auto guard = domain.pin();
+      for (int i = 0; i < 10; ++i) guard.retire(new Tracked);
+    }
   }
   EXPECT_EQ(Tracked::live.load(), 0);
 }
 
-TEST(LocalEpochManager, CustomDeleterRuns) {
-  LocalEpochManager em;
+TEST(LocalDomain, CustomDeleterRuns) {
+  LocalDomain domain;
   static std::atomic<int> custom_calls{0};
   custom_calls = 0;
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  int payload = 0;
-  tok.deferDeleteRaw(&payload, [](void*) { custom_calls.fetch_add(1); });
-  tok.unpin();
-  em.clear();
+  {
+    auto guard = domain.pin();
+    int payload = 0;
+    guard.retireRaw(&payload, [](void*) { custom_calls.fetch_add(1); });
+  }
+  domain.clear();
   EXPECT_EQ(custom_calls.load(), 1);
 }
 
-TEST(LocalEpochManager, ElectionIsFirstComeFirstServe) {
-  // With a token pinned, a tryReclaim inside another tryReclaim's window
+TEST(LocalDomain, ElectionIsFirstComeFirstServe) {
+  // With a guard pinned, a tryReclaim inside another tryReclaim's window
   // must return immediately (non-blocking). We approximate by hammering
   // from many threads and checking lost elections are counted while the
   // epoch advances exactly as many times as wins.
-  LocalEpochManager em;
+  LocalDomain domain;
   constexpr int kThreads = 4;
   constexpr int kIters = 2000;
   std::atomic<std::uint64_t> wins{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&] {
-      LocalEpochToken tok = em.registerTask();
+      auto guard = domain.attach();
       for (int i = 0; i < kIters; ++i) {
-        tok.pin();
-        tok.deferDelete(new Tracked);
-        tok.unpin();
-        if (tok.tryReclaim()) wins.fetch_add(1);
+        guard.pin();
+        guard.retire(new Tracked);
+        guard.unpin();
+        if (guard.tryReclaim()) wins.fetch_add(1);
       }
     });
   }
   for (auto& th : threads) th.join();
-  const auto s = em.stats();
+  const auto s = domain.stats();
   EXPECT_EQ(s.advances, wins.load());
   EXPECT_EQ(s.deferred, static_cast<std::uint64_t>(kThreads) * kIters);
-  em.clear();
+  domain.clear();
   EXPECT_EQ(Tracked::live.load(), 0);
-  EXPECT_EQ(em.stats().reclaimed, s.deferred);
+  EXPECT_EQ(domain.stats().reclaimed, s.deferred);
 }
 
 struct Canary {
@@ -210,10 +198,10 @@ struct Canary {
   ~Canary() { magic.store(0xDEAD, std::memory_order_seq_cst); }
 };
 
-TEST(LocalEpochManager, ConcurrentReadersNeverSeeFreedMemory) {
-  // Readers traverse a shared cell under pin while writers swap + defer
+TEST(LocalDomain, ConcurrentReadersNeverSeeFreedMemory) {
+  // Readers traverse a shared cell under pin while writers swap + retire
   // the old value. The canary must always be intact when read under pin.
-  LocalEpochManager em;
+  LocalDomain domain;
   std::atomic<Canary*> cell{new Canary};
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> bad_reads{0};
@@ -221,27 +209,27 @@ TEST(LocalEpochManager, ConcurrentReadersNeverSeeFreedMemory) {
   std::vector<std::thread> readers;
   for (int r = 0; r < 2; ++r) {
     readers.emplace_back([&] {
-      LocalEpochToken tok = em.registerTask();
+      auto guard = domain.attach();
       while (!stop.load(std::memory_order_acquire)) {
-        tok.pin();
+        guard.pin();
         Canary* c = cell.load(std::memory_order_acquire);
         if (c->magic.load(std::memory_order_acquire) != Canary::kMagic) {
           bad_reads.fetch_add(1);
         }
-        tok.unpin();
+        guard.unpin();
       }
     });
   }
 
   std::thread writer([&] {
-    LocalEpochToken tok = em.registerTask();
+    auto guard = domain.attach();
     for (int i = 0; i < 3000; ++i) {
-      tok.pin();
+      guard.pin();
       Canary* fresh = new Canary;
       Canary* old = cell.exchange(fresh, std::memory_order_acq_rel);
-      tok.deferDelete(old);
-      tok.unpin();
-      if (i % 16 == 0) tok.tryReclaim();
+      guard.retire(old);
+      guard.unpin();
+      if (i % 16 == 0) guard.tryReclaim();
     }
   });
 
@@ -251,7 +239,7 @@ TEST(LocalEpochManager, ConcurrentReadersNeverSeeFreedMemory) {
   EXPECT_EQ(bad_reads.load(), 0u)
       << "a reader observed a freed canary under an epoch pin";
   delete cell.load();
-  em.clear();
+  domain.clear();
 }
 
 }  // namespace

@@ -12,69 +12,61 @@ namespace pgasnb {
 namespace {
 
 TEST(MsQueue, EmptyDequeuesNothing) {
-  LocalEpochManager em;
-  MsQueue<int> q(em);
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
+  LocalDomain domain;
+  MsQueue<int> q(domain);
+  auto guard = domain.pin();
   EXPECT_TRUE(q.emptyApprox());
-  EXPECT_FALSE(q.dequeue(tok).has_value());
-  tok.unpin();
+  EXPECT_FALSE(q.dequeue(guard).has_value());
 }
 
 TEST(MsQueue, FifoOrder) {
-  LocalEpochManager em;
-  MsQueue<int> q(em);
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  for (int i = 0; i < 100; ++i) q.enqueue(tok, i);
+  LocalDomain domain;
+  MsQueue<int> q(domain);
+  auto guard = domain.pin();
+  for (int i = 0; i < 100; ++i) q.enqueue(guard, i);
   for (int i = 0; i < 100; ++i) {
-    auto v = q.dequeue(tok);
+    auto v = q.dequeue(guard);
     ASSERT_TRUE(v.has_value());
     EXPECT_EQ(*v, i);
   }
-  EXPECT_FALSE(q.dequeue(tok).has_value());
-  tok.unpin();
+  EXPECT_FALSE(q.dequeue(guard).has_value());
 }
 
 TEST(MsQueue, InterleavedEnqueueDequeue) {
-  LocalEpochManager em;
-  MsQueue<int> q(em);
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  q.enqueue(tok, 1);
-  q.enqueue(tok, 2);
-  EXPECT_EQ(*q.dequeue(tok), 1);
-  q.enqueue(tok, 3);
-  EXPECT_EQ(*q.dequeue(tok), 2);
-  EXPECT_EQ(*q.dequeue(tok), 3);
-  tok.unpin();
+  LocalDomain domain;
+  MsQueue<int> q(domain);
+  auto guard = domain.pin();
+  q.enqueue(guard, 1);
+  q.enqueue(guard, 2);
+  EXPECT_EQ(*q.dequeue(guard), 1);
+  q.enqueue(guard, 3);
+  EXPECT_EQ(*q.dequeue(guard), 2);
+  EXPECT_EQ(*q.dequeue(guard), 3);
 }
 
-TEST(MsQueue, RequiresPinnedToken) {
-  LocalEpochManager em;
-  MsQueue<int> q(em);
-  LocalEpochToken tok = em.registerTask();
-  EXPECT_DEATH(q.enqueue(tok, 1), "pinned");
+TEST(MsQueue, RequiresPinnedGuard) {
+  LocalDomain domain;
+  MsQueue<int> q(domain);
+  auto guard = domain.attach();
+  EXPECT_DEATH(q.enqueue(guard, 1), "pinned");
 }
 
 TEST(MsQueue, DequeuedDummiesAreDeferred) {
-  LocalEpochManager em;
-  MsQueue<int> q(em);
+  LocalDomain domain;
+  MsQueue<int> q(domain);
   {
-    LocalEpochToken tok = em.registerTask();
-    tok.pin();
-    for (int i = 0; i < 20; ++i) q.enqueue(tok, i);
-    for (int i = 0; i < 20; ++i) (void)q.dequeue(tok);
-    tok.unpin();
+    auto guard = domain.pin();
+    for (int i = 0; i < 20; ++i) q.enqueue(guard, i);
+    for (int i = 0; i < 20; ++i) (void)q.dequeue(guard);
   }
-  EXPECT_EQ(em.stats().deferred, 20u);
-  em.clear();
-  EXPECT_EQ(em.stats().reclaimed, 20u);
+  EXPECT_EQ(domain.stats().deferred, 20u);
+  domain.clear();
+  EXPECT_EQ(domain.stats().reclaimed, 20u);
 }
 
 TEST(MsQueue, MpmcConservation) {
-  LocalEpochManager em;
-  MsQueue<long> q(em);
+  LocalDomain domain;
+  MsQueue<long> q(domain);
   constexpr int kProducers = 2;
   constexpr int kConsumers = 2;
   constexpr int kPerProducer = 20000;
@@ -85,37 +77,37 @@ TEST(MsQueue, MpmcConservation) {
   std::vector<std::thread> threads;
   for (int p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
-      LocalEpochToken tok = em.registerTask();
+      auto guard = domain.attach();
       for (int i = 0; i < kPerProducer; ++i) {
-        tok.pin();
-        q.enqueue(tok, static_cast<long>(p) * kPerProducer + i);
-        tok.unpin();
+        guard.pin();
+        q.enqueue(guard, static_cast<long>(p) * kPerProducer + i);
+        guard.unpin();
       }
       producers_done.fetch_add(1);
     });
   }
   for (int c = 0; c < kConsumers; ++c) {
     threads.emplace_back([&] {
-      LocalEpochToken tok = em.registerTask();
+      auto guard = domain.attach();
       while (true) {
-        tok.pin();
-        auto v = q.dequeue(tok);
-        tok.unpin();
+        guard.pin();
+        auto v = q.dequeue(guard);
+        guard.unpin();
         if (v.has_value()) {
           consumed_sum.fetch_add(*v, std::memory_order_relaxed);
           consumed_count.fetch_add(1, std::memory_order_relaxed);
         } else if (producers_done.load() == kProducers) {
           // Drain once more to close the race between the emptiness check
           // and the last enqueue.
-          tok.pin();
-          v = q.dequeue(tok);
-          tok.unpin();
+          guard.pin();
+          v = q.dequeue(guard);
+          guard.unpin();
           if (!v.has_value()) break;
           consumed_sum.fetch_add(*v, std::memory_order_relaxed);
           consumed_count.fetch_add(1, std::memory_order_relaxed);
         }
         if ((consumed_count.load(std::memory_order_relaxed) & 255) == 0) {
-          tok.tryReclaim();
+          guard.tryReclaim();
         }
       }
     });
@@ -125,39 +117,37 @@ TEST(MsQueue, MpmcConservation) {
   const long total = static_cast<long>(kProducers) * kPerProducer;
   EXPECT_EQ(consumed_count.load(), total);
   EXPECT_EQ(consumed_sum.load(), total * (total - 1) / 2);
-  em.clear();
-  EXPECT_EQ(em.stats().reclaimed, em.stats().deferred);
+  domain.clear();
+  EXPECT_EQ(domain.stats().reclaimed, domain.stats().deferred);
 }
 
 TEST(MsQueue, PerElementFifoPerProducer) {
   // Single consumer: elements from each producer must arrive in that
   // producer's order (FIFO is per-queue; per-producer order is implied).
-  LocalEpochManager em;
-  MsQueue<std::pair<int, int>> q(em);
+  LocalDomain domain;
+  MsQueue<std::pair<int, int>> q(domain);
   constexpr int kProducers = 3;
   constexpr int kPerProducer = 5000;
   std::vector<std::thread> producers;
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
-      LocalEpochToken tok = em.registerTask();
+      auto guard = domain.attach();
       for (int i = 0; i < kPerProducer; ++i) {
-        tok.pin();
-        q.enqueue(tok, {p, i});
-        tok.unpin();
+        guard.pin();
+        q.enqueue(guard, {p, i});
+        guard.unpin();
       }
     });
   }
   for (auto& th : producers) th.join();
 
-  LocalEpochToken tok = em.registerTask();
+  auto guard = domain.pin();
   std::vector<int> next_expected(kProducers, 0);
-  tok.pin();
-  while (auto v = q.dequeue(tok)) {
+  while (auto v = q.dequeue(guard)) {
     const auto [p, i] = *v;
     EXPECT_EQ(i, next_expected[p]) << "per-producer order violated";
     next_expected[p] = i + 1;
   }
-  tok.unpin();
   for (int p = 0; p < kProducers; ++p) {
     EXPECT_EQ(next_expected[p], kPerProducer);
   }

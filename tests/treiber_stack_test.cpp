@@ -119,43 +119,39 @@ TEST(LockFreeStack, ConcurrentDistinctValues) {
 // --- EBR-protected stack ---------------------------------------------------
 
 TEST(EbrStack, BasicLifo) {
-  LocalEpochManager em;
-  EbrStack<int> stack(em);
-  LocalEpochToken tok = em.registerTask();
-  tok.pin();
-  stack.push(tok, 1);
-  stack.push(tok, 2);
-  EXPECT_EQ(*stack.pop(tok), 2);
-  EXPECT_EQ(*stack.pop(tok), 1);
-  EXPECT_FALSE(stack.pop(tok).has_value());
-  tok.unpin();
+  LocalDomain domain;
+  EbrStack<int> stack(domain);
+  auto guard = domain.pin();
+  stack.push(guard, 1);
+  stack.push(guard, 2);
+  EXPECT_EQ(*stack.pop(guard), 2);
+  EXPECT_EQ(*stack.pop(guard), 1);
+  EXPECT_FALSE(stack.pop(guard).has_value());
 }
 
-TEST(EbrStack, RequiresPinnedToken) {
-  LocalEpochManager em;
-  EbrStack<int> stack(em);
-  LocalEpochToken tok = em.registerTask();
-  EXPECT_DEATH(stack.push(tok, 1), "pinned");
+TEST(EbrStack, RequiresPinnedGuard) {
+  LocalDomain domain;
+  EbrStack<int> stack(domain);
+  auto guard = domain.attach();
+  EXPECT_DEATH(stack.push(guard, 1), "pinned");
 }
 
-TEST(EbrStack, PoppedNodesFlowThroughEpochManager) {
-  LocalEpochManager em;
-  EbrStack<int> stack(em);
+TEST(EbrStack, PoppedNodesFlowThroughDomain) {
+  LocalDomain domain;
+  EbrStack<int> stack(domain);
   {
-    LocalEpochToken tok = em.registerTask();
-    tok.pin();
-    for (int i = 0; i < 50; ++i) stack.push(tok, i);
-    for (int i = 0; i < 50; ++i) (void)stack.pop(tok);
-    tok.unpin();
+    auto guard = domain.pin();
+    for (int i = 0; i < 50; ++i) stack.push(guard, i);
+    for (int i = 0; i < 50; ++i) (void)stack.pop(guard);
   }
-  EXPECT_EQ(em.stats().deferred, 50u);
-  em.clear();
-  EXPECT_EQ(em.stats().reclaimed, 50u);
+  EXPECT_EQ(domain.stats().deferred, 50u);
+  domain.clear();
+  EXPECT_EQ(domain.stats().reclaimed, 50u);
 }
 
 TEST(EbrStack, ConcurrentChurnWithReclamation) {
-  LocalEpochManager em;
-  EbrStack<long> stack(em);
+  LocalDomain domain;
+  EbrStack<long> stack(domain);
   constexpr int kThreads = 4;
   constexpr int kPerThread = 10000;
   std::atomic<long> popped_sum{0};
@@ -164,38 +160,37 @@ TEST(EbrStack, ConcurrentChurnWithReclamation) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      LocalEpochToken tok = em.registerTask();
+      auto guard = domain.attach();
       for (int i = 0; i < kPerThread; ++i) {
-        tok.pin();
-        stack.push(tok, static_cast<long>(t) * kPerThread + i);
+        guard.pin();
+        stack.push(guard, static_cast<long>(t) * kPerThread + i);
         if ((i & 1) != 0) {
-          if (auto v = stack.pop(tok)) {
+          if (auto v = stack.pop(guard)) {
             popped_sum.fetch_add(*v, std::memory_order_relaxed);
             popped_count.fetch_add(1, std::memory_order_relaxed);
           }
         }
-        tok.unpin();
-        if ((i & 127) == 0) tok.tryReclaim();
+        guard.unpin();
+        if ((i & 127) == 0) guard.tryReclaim();
       }
     });
   }
   for (auto& th : threads) th.join();
 
-  LocalEpochToken tok = em.registerTask();
   long rest_sum = 0, rest_count = 0;
-  tok.pin();
-  while (auto v = stack.pop(tok)) {
-    rest_sum += *v;
-    ++rest_count;
+  {
+    auto guard = domain.pin();
+    while (auto v = stack.pop(guard)) {
+      rest_sum += *v;
+      ++rest_count;
+    }
   }
-  tok.unpin();
-  tok.reset();
-  em.clear();
+  domain.clear();
 
   const long total = static_cast<long>(kThreads) * kPerThread;
   EXPECT_EQ(popped_count.load() + rest_count, total);
   EXPECT_EQ(popped_sum.load() + rest_sum, total * (total - 1) / 2);
-  EXPECT_EQ(em.stats().reclaimed, em.stats().deferred);
+  EXPECT_EQ(domain.stats().reclaimed, domain.stats().deferred);
 }
 
 }  // namespace
