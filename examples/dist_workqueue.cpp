@@ -46,16 +46,25 @@ int main(int argc, char** argv) {
   const auto items = static_cast<std::uint64_t>(opts.integer("items", 512));
 
   DistDomain domain = DistDomain::create();
-  auto* bag = DistStack<WorkItem>::create(domain);
+  // Home the bag on the *last* locale: seeding runs on locale 0, so the
+  // async pushes below genuinely ship their link loops across the wire
+  // (with home == 0 they would all take the inline fast path).
+  auto* bag = DistStack<WorkItem>::create(domain, cfg.num_locales - 1);
 
-  // Seed: locale 0 splits [0, 1] into `items` subintervals.
+  // Seed: locale 0 splits [0, 1] into `items` subintervals. Pushes are
+  // issued asynchronously (the link loop ships to the bag's home locale)
+  // and joined in one sweep -- seeding overlaps instead of paying one
+  // round trip per item.
   {
     auto guard = domain.pin();
+    std::vector<comm::Handle<>> in_flight;
+    in_flight.reserve(items);
     for (std::uint64_t i = 0; i < items; ++i) {
       const double lo = static_cast<double>(i) / items;
       const double hi = static_cast<double>(i + 1) / items;
-      bag->push(guard, WorkItem{lo, hi});
+      in_flight.push_back(bag->pushAsync(guard, WorkItem{lo, hi}));
     }
+    for (auto& h : in_flight) h.wait();
   }
 
   // Consume: every locale drains the shared bag; partial sums aggregate

@@ -79,11 +79,29 @@ class DistStack {
     PGASNB_CHECK_MSG(guard.pinned(), "DistStack::push requires a pinned guard");
     Node* node = Domain::template make<Node>();
     node->value = value;
-    while (true) {
-      ABA<Node> old_head = head_.readABA();
-      node->next = old_head.getObject();
-      if (head_.compareAndSwapABA(old_head, node)) return;
+    linkNode(node);
+  }
+
+  /// Non-blocking push: the node is allocated here, then the head-CAS loop
+  /// is *shipped to the stack's home locale* (where the head word lives, so
+  /// every CAS is a processor atomic instead of a remote round trip) and a
+  /// completion handle is returned. The value is visible to pops once the
+  /// handle is ready.
+  comm::Handle<> pushAsync(Guard& guard, T value) {
+    PGASNB_CHECK_MSG(guard.pinned(),
+                     "DistStack::pushAsync requires a pinned guard");
+    Node* node = Domain::template make<Node>();
+    node->value = value;
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t home = Runtime::get().localeOfAddress(this);
+      if (home != Runtime::here()) {
+        // Linking never dereferences popped nodes, so the handler needs no
+        // epoch pin of its own.
+        return comm::amAsyncHandle(home, [this, node] { linkNode(node); });
+      }
     }
+    linkNode(node);
+    return comm::readyHandle();
   }
 
   std::optional<T> pop(Guard& guard) {
@@ -114,6 +132,14 @@ class DistStack {
   bool emptyApprox() const { return head_.read() == nullptr; }
 
  private:
+  void linkNode(Node* node) {
+    while (true) {
+      ABA<Node> old_head = head_.readABA();
+      node->next = old_head.getObject();
+      if (head_.compareAndSwapABA(old_head, node)) return;
+    }
+  }
+
   typename domain_traits<Domain>::template atomic_object<Node,
                                                          /*WithAba=*/true>
       head_;

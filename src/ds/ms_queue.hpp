@@ -21,6 +21,7 @@
 
 #include "atomic/domain_traits.hpp"
 #include "epoch/domain.hpp"
+#include "runtime/comm.hpp"
 #include "util/check.hpp"
 
 namespace pgasnb {
@@ -59,22 +60,40 @@ class MsQueue {
     PGASNB_CHECK_MSG(guard.pinned(), "MsQueue::enqueue requires a pinned guard");
     Node* node = Domain::template make<Node>();
     node->value = std::move(value);
-    while (true) {
-      Node* tail = tail_.read();
-      Node* next = tail->next.load(std::memory_order_acquire);
-      if (tail != tail_.read()) continue;  // tail moved under us
-      if (next != nullptr) {
-        // Tail is lagging; help swing it forward.
-        tail_.compareAndSwap(tail, next);
-        continue;
-      }
-      Node* expected = nullptr;
-      if (tail->next.compare_exchange_strong(expected, node,
-                                             std::memory_order_seq_cst)) {
-        tail_.compareAndSwap(tail, node);
-        return;
+    enqueueNode(node);
+  }
+
+  /// Non-blocking enqueue: allocate the node here, ship the append loop to
+  /// the queue's home locale (where the head/tail words live), return a
+  /// completion handle. FIFO visibility starts when the handle is ready.
+  /// Cost note: the remote handler registers a fresh epoch token per
+  /// message on the home progress thread (the append dereferences the
+  /// observed tail, so it needs the pin); a per-thread registration cache
+  /// would amortize that -- tracked in ROADMAP.
+  comm::Handle<> enqueueAsync(Guard& guard, T value) {
+    PGASNB_CHECK_MSG(guard.pinned(),
+                     "MsQueue::enqueueAsync requires a pinned guard");
+    Node* node = Domain::template make<Node>();
+    node->value = std::move(value);
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t home = Runtime::get().localeOfAddress(this);
+      if (home != Runtime::here()) {
+        return comm::amAsyncHandle(home, [this, node] {
+          // The append loop dereferences the observed tail, which may be a
+          // node another task just retired: the handler pins its own guard.
+          auto handler_guard = domain().pin();
+          enqueueNode(node);
+        });
       }
     }
+    enqueueNode(node);
+    return comm::readyHandle();
+  }
+
+  /// Stack-compatible spelling of enqueueAsync (the async surface exposes
+  /// pushAsync on every producer-side structure).
+  comm::Handle<> pushAsync(Guard& guard, T value) {
+    return enqueueAsync(guard, std::move(value));
   }
 
   std::optional<T> dequeue(Guard& guard) {
@@ -105,6 +124,25 @@ class MsQueue {
   }
 
  private:
+  void enqueueNode(Node* node) {
+    while (true) {
+      Node* tail = tail_.read();
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (tail != tail_.read()) continue;  // tail moved under us
+      if (next != nullptr) {
+        // Tail is lagging; help swing it forward.
+        tail_.compareAndSwap(tail, next);
+        continue;
+      }
+      Node* expected = nullptr;
+      if (tail->next.compare_exchange_strong(expected, node,
+                                             std::memory_order_seq_cst)) {
+        tail_.compareAndSwap(tail, node);
+        return;
+      }
+    }
+  }
+
   typename domain_traits<Domain>::template atomic_object<Node> head_;
   typename domain_traits<Domain>::template atomic_object<Node> tail_;
   DomainRef<Domain> domain_;

@@ -31,7 +31,10 @@ template <typename T>
 class LockFreeStack {
   struct Node {
     T value{};
-    Node* next = nullptr;
+    /// Atomic (relaxed) because pop/acquire read `next` of a type-stable
+    /// node optimistically while a racing push/release may be re-linking
+    /// it; the ABA CAS rejects the stale read and supplies the ordering.
+    std::atomic<Node*> next{nullptr};
   };
 
  public:
@@ -49,7 +52,7 @@ class LockFreeStack {
     Node* node = acquireNode(std::move(value));
     while (true) {
       ABA<Node> head = head_.readABA();
-      node->next = head.getObject();
+      node->next.store(head.getObject(), std::memory_order_relaxed);
       if (head_.compareAndSwapABA(head, node)) break;
     }
     size_.fetch_add(1, std::memory_order_relaxed);
@@ -61,7 +64,7 @@ class LockFreeStack {
       if (head.isNil()) return std::nullopt;
       // Nodes are type-stable, so reading next of a concurrently-popped
       // node is safe; the ABA count makes the CAS reject stale heads.
-      Node* next = head->next;
+      Node* next = head->next.load(std::memory_order_relaxed);
       if (head_.compareAndSwapABA(head, next)) {
         std::optional<T> out(std::move(head->value));
         releaseNode(head.getObject());
@@ -85,7 +88,7 @@ class LockFreeStack {
         fresh->value = std::move(value);
         return fresh;
       }
-      Node* next = head->next;
+      Node* next = head->next.load(std::memory_order_relaxed);
       if (free_.compareAndSwapABA(head, next)) {
         Node* node = head.getObject();
         node->value = std::move(value);
@@ -97,14 +100,14 @@ class LockFreeStack {
   void releaseNode(Node* node) {
     while (true) {
       ABA<Node> head = free_.readABA();
-      node->next = head.getObject();
+      node->next.store(head.getObject(), std::memory_order_relaxed);
       if (free_.compareAndSwapABA(head, node)) return;
     }
   }
 
   void deleteChain(Node* node) {
     while (node != nullptr) {
-      Node* next = node->next;
+      Node* next = node->next.load(std::memory_order_relaxed);
       delete node;
       node = next;
     }

@@ -25,9 +25,10 @@
 // allocation (`Domain::make<N>()` / `Domain::destroyNode()` /
 // `Domain::retireNode()`), replacing the per-structure node policies.
 //
-// The older token spellings (EpochManager::registerTask() returning an
-// EpochToken, and the Local* twins) remain as thin deprecated aliases; see
-// docs/API.md for the migration table.
+// The pre-PR-1 token spellings (EpochManager::registerTask() and the
+// Local* twins) are gone; the managers expose acquireToken() as the
+// low-level entry the domains build on. See docs/API.md for the migration
+// table.
 #pragma once
 
 #include <concepts>
@@ -65,9 +66,11 @@ class BasicGuard {
   std::uint64_t epoch() const noexcept { return token_.epoch(); }
 
   /// Temporarily leave the epoch (e.g. between phases of a long task) and
-  /// re-enter it. pin() is idempotent.
+  /// re-enter it. pin() is idempotent. Unpinning flushes any buffered
+  /// cross-locale retires (aggregated-retire policy) before going
+  /// quiescent.
   void pin() { token_.pin(); }
-  void unpin() noexcept { token_.unpin(); }
+  void unpin() { token_.unpin(); }
 
   // --- deferred reclamation ----------------------------------------------
   /// Defer deletion of `obj` until no task can still hold a reference.
@@ -80,6 +83,16 @@ class BasicGuard {
   /// object's owning locale).
   void retireRaw(void* obj, ObjectDeleter deleter) {
     token_.deferDeleteRaw(obj, deleter);
+  }
+
+  /// Ship any buffered cross-locale retires now (DistDomain aggregated
+  /// policy; a no-op for LocalDomain). Happens automatically at batch
+  /// threshold, unpin(), release(), and tryReclaim().
+  void flush() { token_.flush(); }
+
+  /// Cross-locale retires buffered in this guard but not yet shipped.
+  std::size_t pendingRetires() const noexcept {
+    return token_.pendingRetires();
   }
 
   /// Attempt an epoch advance + reclamation; non-blocking, returns true
@@ -113,9 +126,9 @@ class LocalDomain {
   bool valid() const noexcept { return true; }
 
   /// Register the calling task and enter the current epoch.
-  Guard pin() { return Guard(manager_.registerTask(), /*pin_now=*/true); }
+  Guard pin() { return Guard(manager_.acquireToken(), /*pin_now=*/true); }
   /// Register without pinning (for tasks that toggle pin()/unpin()).
-  Guard attach() { return Guard(manager_.registerTask(), /*pin_now=*/false); }
+  Guard attach() { return Guard(manager_.acquireToken(), /*pin_now=*/false); }
 
   bool tryReclaim() { return manager_.tryReclaim(); }
   /// Reclaim everything; caller guarantees no concurrent use.
@@ -169,9 +182,9 @@ class DistDomain {
 
   /// Register the calling task (token bound to the calling locale) and
   /// enter the current epoch.
-  Guard pin() const { return Guard(manager_.registerTask(), /*pin_now=*/true); }
+  Guard pin() const { return Guard(manager_.acquireToken(), /*pin_now=*/true); }
   Guard attach() const {
-    return Guard(manager_.registerTask(), /*pin_now=*/false);
+    return Guard(manager_.acquireToken(), /*pin_now=*/false);
   }
 
   bool tryReclaim() const { return manager_.tryReclaim(); }
@@ -259,6 +272,8 @@ concept ReclaimDomain = requires(D d, const D cd, typename D::Guard g,
   { g.unpin() };
   { g.retire(node) };
   { g.retireRaw(obj, del) };
+  { g.flush() };
+  { g.pendingRetires() } -> std::convertible_to<std::size_t>;
   { g.tryReclaim() } -> std::convertible_to<bool>;
 };
 

@@ -65,6 +65,39 @@ void EpochManagerImpl::deferDelete(Token* token, void* obj,
   sim::charge(Runtime::get().config().latency.cpu_atomic_ns * 3);
 }
 
+void EpochManagerImpl::insertRemoteRetire(void* obj, ObjectDeleter deleter) {
+  LimboNode* node = node_pool_.acquire(obj, deleter);
+  const std::uint64_t e = locale_epoch_.load(std::memory_order_seq_cst);
+  limbo_[limboIndexFor(e)].push(node);
+  deferred_.fetch_add(1, std::memory_order_relaxed);
+  sim::charge(Runtime::get().config().latency.cpu_atomic_ns * 3);
+}
+
+void EpochManagerImpl::insertRemoteRetires(
+    const std::vector<ScatterEntry>& entries) {
+  if (entries.empty()) return;
+  // Acquire and pre-link the whole chain privately, then publish it with
+  // one exchange: a batch of N retires costs the same number of limbo-list
+  // atomics as a single retire.
+  LimboNode* first = nullptr;
+  LimboNode* last = nullptr;
+  for (const ScatterEntry& entry : entries) {
+    LimboNode* node = node_pool_.acquire(entry.obj, entry.deleter);
+    if (first == nullptr) {
+      first = node;
+    } else {
+      last->next.store(node, std::memory_order_relaxed);
+    }
+    last = node;
+  }
+  const std::uint64_t e = locale_epoch_.load(std::memory_order_seq_cst);
+  limbo_[limboIndexFor(e)].pushChain(first, last);
+  deferred_.fetch_add(entries.size(), std::memory_order_relaxed);
+  // Node recycles (one pool pop per entry) + the single exchange.
+  sim::charge(Runtime::get().config().latency.cpu_atomic_ns *
+              (entries.size() + 2));
+}
+
 void EpochManagerImpl::scatterLimboList(std::uint32_t index) {
   Runtime& rt = Runtime::get();
   LimboNode* node = limbo_[index].popAll();
@@ -100,6 +133,72 @@ ReclaimStats EpochManagerImpl::statsSnapshot() const {
       elections_lost_global_.load(std::memory_order_relaxed);
   s.scans_unsafe = scans_unsafe_.load(std::memory_order_relaxed);
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// EpochToken: cross-locale retire routing
+// ---------------------------------------------------------------------------
+
+void EpochToken::deferDeleteRaw(void* obj, ObjectDeleter deleter) {
+  checkHome();
+  Runtime& rt = Runtime::get();
+  const std::uint32_t owner = rt.localeOfAddress(obj);
+  const RemoteRetirePolicy policy = rt.config().remote_retire;
+  if (owner == Runtime::here() || policy == RemoteRetirePolicy::scatter) {
+    // Local object, or the paper's baseline: retire into the local limbo
+    // list; reclamation ships remote objects home via the scatter lists.
+    handle_.local().deferDelete(token_, obj, deleter);
+    return;
+  }
+  PGASNB_CHECK_MSG(pinned(), "deferDelete requires a pinned token");
+  if (policy == RemoteRetirePolicy::per_op_am) {
+    // Naive async path: one active message per retire.
+    auto handle = handle_;
+    comm::amAsync(owner, [handle, obj, deleter] {
+      handle.local().insertRemoteRetire(obj, deleter);
+    });
+    return;
+  }
+  // Aggregated: buffer per destination, ship batches through the task's
+  // comm::Aggregator once the batch fills (or at unpin/release/tryReclaim).
+  if (pending_remote_.empty()) pending_remote_.resize(rt.numLocales());
+  auto& bucket = pending_remote_[owner];
+  bucket.push_back({obj, deleter});
+  sim::chargeModelOnly(rt.config().latency.cpu_atomic_ns);
+  if (bucket.size() >= rt.config().retire_batch_size) enqueueBucket(owner);
+}
+
+void EpochToken::enqueueBucket(std::uint32_t dest) {
+  auto& bucket = pending_remote_[dest];
+  if (bucket.empty()) return;
+  const std::uint64_t weight = bucket.size();
+  auto handle = handle_;
+  comm::taskAggregator().enqueue(
+      dest,
+      [handle, entries = std::move(bucket)] {
+        handle.local().insertRemoteRetires(entries);
+      },
+      weight);
+  bucket.clear();  // moved-from: back to a known-empty state
+}
+
+void EpochToken::flush() {
+  // A never-resized pending_remote_ means this token never routed a retire
+  // through the aggregated path: nothing of ours can be buffered anywhere.
+  if (token_ == nullptr || pending_remote_.empty()) return;
+  checkHome();
+  for (std::uint32_t dest = 0; dest < pending_remote_.size(); ++dest) {
+    if (pending_remote_[dest].empty()) continue;
+    enqueueBucket(dest);
+  }
+  // Push the batches onto the wire now -- UNCONDITIONALLY. Even when every
+  // bucket drained via the threshold path (retire count divisible by the
+  // batch size), those closures are still sitting in the task's aggregator
+  // below *its* threshold; skipping this flush strands them in the worker's
+  // thread-local buffer until thread exit, where the destructor flush can
+  // land after the domain's instances are destroyed. Flush-on-unpin means
+  // a quiescent guard leaves nothing buffered on this task, period.
+  comm::taskAggregator().flushAll();
 }
 
 // ---------------------------------------------------------------------------
@@ -158,8 +257,11 @@ bool epochTryReclaim(Privatized<EpochManagerImpl> handle) {
   }
 
   // Is it safe to reclaim across all locales? (Listing 4 lines 8-21)
+  // The scan is initiated asynchronously: the kick-off returns immediately,
+  // the initiator's own locale scans as one of the spawned tasks, and the
+  // join folds every locale's simulated scan time in at once.
   const std::uint64_t this_epoch = inst.global_->epoch.read();
-  const bool safe = allLocalesAnd([handle, this_epoch, &lat] {
+  PendingAnd scan = allLocalesAndAsync([handle, this_epoch, &lat] {
     EpochManagerImpl& li = handle.local();
     for (Token* t = li.tokens_.allocatedHead(); t != nullptr;
          t = t->next_allocated) {
@@ -169,6 +271,7 @@ bool epochTryReclaim(Privatized<EpochManagerImpl> handle) {
     }
     return true;
   });
+  const bool safe = scan.wait();
 
   bool advanced = false;
   if (safe) {
@@ -195,7 +298,13 @@ bool epochTryReclaim(Privatized<EpochManagerImpl> handle) {
 }
 
 void epochClearAll(Privatized<EpochManagerImpl> handle) {
-  // Caller guarantees quiescence; reclaim all three lists on every locale.
+  // Caller guarantees quiescence of *tasks*, but aggregated/per-op-AM
+  // retires may still be in flight: ship anything this task has buffered,
+  // then fence every AM queue (including this locale's own -- other
+  // locales inject retires destined for us) so all of them have landed.
+  comm::taskAggregator().flushAll();
+  comm::quiesceAmQueues();
+  // Reclaim all limbo lists on every locale.
   coforallLocales([handle] {
     reclaimOnThisLocale(handle, 0, kNumEpochs);
   });

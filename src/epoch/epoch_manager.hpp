@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "epoch/limbo_list.hpp"
@@ -96,6 +97,22 @@ class EpochManagerImpl {
   /// Wait-free: node recycle + one exchange + one store.
   void deferDelete(Token* token, void* obj, ObjectDeleter deleter);
 
+  struct ScatterEntry {
+    void* obj;
+    ObjectDeleter deleter;
+  };
+
+  /// Insert one retire shipped from another locale into this locale's
+  /// current-epoch limbo list. Runs on the progress thread (per-op AM path).
+  /// Inserting at the *receiver's* epoch is safe regardless of sender lag:
+  /// it can only delay the object past more grace periods, never fewer.
+  void insertRemoteRetire(void* obj, ObjectDeleter deleter);
+
+  /// Bulk flavor for aggregated retires: acquires limbo nodes for every
+  /// entry, pre-links them, and splices the chain with ONE exchange
+  /// (LimboList::pushChain).
+  void insertRemoteRetires(const std::vector<ScatterEntry>& entries);
+
   // --- reclamation machinery (called by free functions below) -----------
 
   /// Pop the limbo list `index` and scatter its objects into
@@ -122,10 +139,6 @@ class EpochManagerImpl {
   LimboNodePool<detail::ArenaLimboNodeAlloc> node_pool_;
   TokenPool<detail::ArenaTokenAlloc> tokens_;
 
-  struct ScatterEntry {
-    void* obj;
-    ObjectDeleter deleter;
-  };
   std::vector<std::vector<ScatterEntry>> objs_to_delete_;
 
   // statistics (relaxed; summed across locales for reports)
@@ -149,7 +162,15 @@ class EpochManager;
 
 /// RAII token handle (the paper wraps tokens in a managed class so scope
 /// exit unregisters them -- this is the C++ equivalent, which makes the
-/// `forall ... with (var tok = manager.registerTask())` pattern safe).
+/// `forall ... with (var tok = manager.acquireToken())` pattern safe).
+/// It also owns the task's aggregated-retire buffers: cross-locale retires
+/// coalesce here and ship through the comm::Aggregator in batches.
+///
+/// A token is bound to the locale and OS thread that registered it: the
+/// underlying Token lives in that locale's pool, and buffered retires ride
+/// the registering thread's thread-local aggregator. Moving it within the
+/// task is fine; retiring through it or flushing it from a different
+/// locale or thread is not (debug-checked).
 class EpochToken {
  public:
   EpochToken() = default;
@@ -158,7 +179,11 @@ class EpochToken {
     reset();
     handle_ = other.handle_;
     token_ = other.token_;
+    home_ = other.home_;
+    owner_thread_ = other.owner_thread_;
+    pending_remote_ = std::move(other.pending_remote_);
     other.token_ = nullptr;
+    other.pending_remote_.clear();
     return *this;
   }
   EpochToken(const EpochToken&) = delete;
@@ -169,9 +194,13 @@ class EpochToken {
   bool valid() const noexcept { return token_ != nullptr; }
 
   void pin() { handle_.local().pin(token_); }
+  /// Leave the epoch. First ships every buffered remote retire and drains
+  /// the task's comm::Aggregator -- flush-on-unpin is what guarantees an
+  /// aggregated retire cannot be stranded past its guard's lifetime.
   void unpin() {
     // No-op on an invalid (released/moved-from) token: already quiescent.
     if (token_ == nullptr) return;
+    flush();
     handle_.local().unpin(token_);
   }
   /// An invalid (default-constructed or moved-from) token is quiescent.
@@ -182,16 +211,28 @@ class EpochToken {
                : token_->local_epoch.load(std::memory_order_relaxed);
   }
 
-  /// Defer deletion of an object allocated with gnew/gnewOn. May target
-  /// any locale's object; reclamation ships it home (scatter lists).
+  /// Defer deletion of an object allocated with gnew/gnewOn. May target any
+  /// locale's object; local (and scatter-policy) retires go into the local
+  /// limbo list, cross-locale retires are routed per
+  /// RuntimeConfig::remote_retire (aggregated through the task's
+  /// comm::Aggregator by default).
   template <typename T>
   void deferDelete(T* obj) {
-    handle_.local().deferDelete(token_, obj, &detail::arenaDeleter<T>);
+    deferDeleteRaw(obj, &detail::arenaDeleter<T>);
   }
 
   /// Custom-deleter escape hatch (deleter runs on the object's owner).
-  void deferDeleteRaw(void* obj, ObjectDeleter deleter) {
-    handle_.local().deferDelete(token_, obj, deleter);
+  void deferDeleteRaw(void* obj, ObjectDeleter deleter);
+
+  /// Ship buffered cross-locale retires now (normally automatic: batch
+  /// threshold, unpin, release, tryReclaim).
+  void flush();
+
+  /// Buffered-but-unshipped cross-locale retires (tests/diagnostics).
+  std::size_t pendingRetires() const noexcept {
+    std::size_t n = 0;
+    for (const auto& bucket : pending_remote_) n += bucket.size();
+    return n;
   }
 
   /// Attempt a reclamation from this task (paper: "intended to be invoked
@@ -199,12 +240,14 @@ class EpochToken {
   /// the LocalEpochToken hardening).
   bool tryReclaim() {
     if (token_ == nullptr) return false;
+    flush();
     return detail::epochTryReclaim(handle_);
   }
 
   /// Early unregistration (otherwise the destructor does it).
   void reset() {
     if (token_ == nullptr) return;
+    flush();
     handle_.local().unregisterToken(token_);
     token_ = nullptr;
   }
@@ -212,10 +255,28 @@ class EpochToken {
  private:
   friend class EpochManager;
   EpochToken(Privatized<EpochManagerImpl> handle, Token* token)
-      : handle_(handle), token_(token) {}
+      : handle_(handle),
+        token_(token),
+        home_(Runtime::here()),
+        owner_thread_(std::this_thread::get_id()) {}
+
+  void enqueueBucket(std::uint32_t dest);
+  /// The token must be used on its registering locale AND OS thread:
+  /// handle_.local() resolves per-calling-locale, and threshold-shipped
+  /// batch closures live in the *enqueueing thread's* thread-local
+  /// aggregator -- flushing from another thread drains the wrong buffer
+  /// and strands the batches past the domain's lifetime.
+  void checkHome() const {
+    PGASNB_DCHECK(Runtime::here() == home_);
+    PGASNB_DCHECK(std::this_thread::get_id() == owner_thread_);
+  }
 
   Privatized<EpochManagerImpl> handle_;
   Token* token_ = nullptr;
+  std::uint32_t home_ = 0;                ///< registering locale
+  std::thread::id owner_thread_;          ///< registering OS thread
+  /// Aggregated-retire buffers, one per destination locale (lazily sized).
+  std::vector<std::vector<EpochManagerImpl::ScatterEntry>> pending_remote_;
 };
 
 /// Global-view EpochManager handle. Trivially copyable record-wrapper:
@@ -236,9 +297,9 @@ class EpochManager {
   bool valid() const noexcept { return handle_.valid(); }
 
   /// Register the calling task; the token is bound to the calling locale.
-  /// DEPRECATED spelling kept for the migration window: new code should go
-  /// through DistDomain::pin() and program against Guards (epoch/domain.hpp).
-  EpochToken registerTask() const {
+  /// Low-level entry used by DistDomain::pin()/attach() -- application code
+  /// should program against Guards (epoch/domain.hpp).
+  EpochToken acquireToken() const {
     return EpochToken(handle_, handle_.local().registerToken());
   }
 

@@ -37,7 +37,10 @@ struct LimboNode {
   void* obj = nullptr;
   ObjectDeleter deleter = nullptr;
   std::atomic<LimboNode*> next{nullptr};
-  LimboNode* pool_next = nullptr;  // Treiber free-stack linkage
+  /// Treiber free-stack linkage. Atomic (relaxed) because the pool pop's
+  /// optimistic read of a type-stable node races with a concurrent
+  /// release's store; the ABA CAS supplies the ordering.
+  std::atomic<LimboNode*> pool_next{nullptr};
 };
 
 namespace detail {
@@ -58,6 +61,17 @@ class LimboList {
     node->next.store(detail::unlinkedSentinel(), std::memory_order_relaxed);
     LimboNode* old_head = head_.exchange(node);
     node->next.store(old_head, std::memory_order_release);
+  }
+
+  /// Bulk insert: splice a privately pre-linked chain `first -> ... -> last`
+  /// in one exchange (the aggregated-retire entry point). Interior `next`
+  /// links must already be set (relaxed stores are fine -- the exchange
+  /// publishes them); only `last`'s link follows the push() protocol, so a
+  /// concurrent walker resolves the chain exactly like a single push.
+  void pushChain(LimboNode* first, LimboNode* last) noexcept {
+    last->next.store(detail::unlinkedSentinel(), std::memory_order_relaxed);
+    LimboNode* old_head = head_.exchange(first);
+    last->next.store(old_head, std::memory_order_release);
   }
 
   /// Takes the entire chain in one exchange (Listing 2's `pop`).
@@ -94,7 +108,7 @@ class LimboNodePool {
   ~LimboNodePool() {
     LimboNode* n = free_.read();
     while (n != nullptr) {
-      LimboNode* next = n->pool_next;
+      LimboNode* next = n->pool_next.load(std::memory_order_relaxed);
       Alloc::free(n);
       n = next;
     }
@@ -119,7 +133,7 @@ class LimboNodePool {
     node->deleter = nullptr;
     while (true) {
       ABA<LimboNode> head = free_.readABA();
-      node->pool_next = head.getObject();
+      node->pool_next.store(head.getObject(), std::memory_order_relaxed);
       if (free_.compareAndSwapABA(head, node)) return;
     }
   }
@@ -139,7 +153,8 @@ class LimboNodePool {
     ABA<LimboNode> head = free_.readABA();
     while (!head.isNil()) {
       // Safe optimistic read: pool nodes are type-stable.
-      LimboNode* next = head.getObject()->pool_next;
+      LimboNode* next =
+          head.getObject()->pool_next.load(std::memory_order_relaxed);
       if (free_.compareAndSwapABA(head, next)) return head.getObject();
       head = free_.readABA();
     }

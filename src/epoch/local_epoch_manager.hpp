@@ -49,6 +49,11 @@ class LocalEpochToken {
   }
   void deferDeleteRaw(void* obj, ObjectDeleter deleter);
 
+  /// Shared-memory retires are never buffered; parity with EpochToken so
+  /// the guard surface is domain-generic.
+  void flush() noexcept {}
+  std::size_t pendingRetires() const noexcept { return 0; }
+
   bool tryReclaim();
   void reset();
 
@@ -69,9 +74,9 @@ class LocalEpochManager {
   LocalEpochManager(const LocalEpochManager&) = delete;
   LocalEpochManager& operator=(const LocalEpochManager&) = delete;
 
-  /// DEPRECATED spelling kept for the migration window: new code should go
-  /// through LocalDomain::pin() and program against Guards (epoch/domain.hpp).
-  LocalEpochToken registerTask() { return {this, tokens_.acquire()}; }
+  /// Low-level entry used by LocalDomain::pin()/attach() -- application
+  /// code should program against Guards (epoch/domain.hpp).
+  LocalEpochToken acquireToken() { return {this, tokens_.acquire()}; }
 
   /// Advance the epoch and reclaim the list two epochs behind, if every
   /// registered token is quiescent or in the current epoch. Non-blocking:

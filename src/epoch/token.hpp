@@ -70,7 +70,11 @@ struct alignas(kCacheLineSize) Token {
   std::atomic<std::uint64_t> local_epoch{kEpochQuiescent};
 
   Token* next_allocated = nullptr;  ///< append-only allocated-list link
-  Token* next_free = nullptr;       ///< free-stack link
+  /// Free-stack link. Atomic because pop's optimistic read (tokens are
+  /// type-stable) races with a concurrent pusher's store; relaxed is
+  /// enough -- the ABA CAS provides the ordering, this just keeps the
+  /// race defined.
+  std::atomic<Token*> next_free{nullptr};
 
   bool pinned() const noexcept {
     return local_epoch.load(std::memory_order_relaxed) != kEpochQuiescent;
@@ -100,7 +104,9 @@ class TokenPool {
   Token* acquire() {
     ABA<Token> head = free_.readABA();
     while (!head.isNil()) {
-      Token* next = head.getObject()->next_free;  // type-stable
+      // Safe optimistic read: tokens are type-stable.
+      Token* next =
+          head.getObject()->next_free.load(std::memory_order_relaxed);
       if (free_.compareAndSwapABA(head, next)) {
         PGASNB_DCHECK(!head.getObject()->pinned());
         return head.getObject();
@@ -117,7 +123,7 @@ class TokenPool {
     token->local_epoch.store(kEpochQuiescent, std::memory_order_seq_cst);
     while (true) {
       ABA<Token> head = free_.readABA();
-      token->next_free = head.getObject();
+      token->next_free.store(head.getObject(), std::memory_order_relaxed);
       if (free_.compareAndSwapABA(head, token)) return;
     }
   }

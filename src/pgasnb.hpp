@@ -32,9 +32,10 @@
 //   }
 //
 // Every data structure in ds/ takes the Domain as a template parameter, so
-// the same algorithm body serves both builds. The legacy token spellings
-// (EpochManager::registerTask() / LocalEpochManager::registerTask()) remain
-// as deprecated aliases; see docs/API.md for the migration table.
+// the same algorithm body serves both builds. The communication layer is
+// non-blocking underneath: hot ops have async variants returning a
+// comm::Handle<T>, and fire-and-forget work (cross-locale retires above
+// all) is coalesced per destination by comm::Aggregator; see docs/API.md.
 #pragma once
 
 #include "util/backoff.hpp"

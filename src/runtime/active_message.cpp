@@ -29,7 +29,13 @@ void ProgressThread::run() {
     const std::uint64_t start = std::max(arrival, busy_until_);
     sim::setNow(start);
     sim::charge(lat.am_service_ns);
-    req.fn();
+    if (req.fn) req.fn();
+    // Aggregated payload: the batch already paid its one wire+service
+    // charge above; each op costs only its CPU time at the target.
+    for (auto& op : req.batch) {
+      sim::charge(lat.cpu_atomic_ns);
+      op();
+    }
     const std::uint64_t end = sim::now();
     busy_until_ = end;
     serviced_.fetch_add(1, std::memory_order_relaxed);

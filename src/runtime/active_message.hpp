@@ -16,14 +16,20 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 namespace pgasnb {
 
 struct AmRequest {
   std::function<void()> fn;
+  /// Aggregated payload (comm::Aggregator): the progress thread drains the
+  /// whole vector in one service -- one wire+service latency charge for the
+  /// batch, one CPU charge per op. Empty for ordinary single-handler AMs.
+  std::vector<std::function<void()>> batch;
   std::uint64_t send_time = 0;  ///< sender's simulated clock at injection
-  /// Completion channel for synchronous AMs: the progress thread stores
-  /// (end_sim_time + 1); 0 means "not done".  Null for fire-and-forget.
+  /// Completion channel for AMs with a waiter (amSync / comm::Handle): the
+  /// progress thread stores (end_sim_time + 1); 0 means "not done". Null
+  /// for fire-and-forget.
   std::atomic<std::uint64_t>* completion = nullptr;
 };
 

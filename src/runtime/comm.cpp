@@ -14,6 +14,9 @@ struct AtomicCounters {
   std::atomic<std::uint64_t> cpu_atomics{0};
   std::atomic<std::uint64_t> am_sync{0};
   std::atomic<std::uint64_t> am_async{0};
+  std::atomic<std::uint64_t> am_batched{0};
+  std::atomic<std::uint64_t> am_fence{0};
+  std::atomic<std::uint64_t> ops_aggregated{0};
   std::atomic<std::uint64_t> puts{0};
   std::atomic<std::uint64_t> gets{0};
   std::atomic<std::uint64_t> dcas_local{0};
@@ -82,11 +85,44 @@ inline U128 dexchangeHardware(U128* target, U128 desired) {
   return out;
 }
 
-}  // namespace
+/// A handle state completed at `join_time` (value, if any, already set).
+template <typename T>
+Handle<T> completedHandle(std::shared_ptr<detail::HandleState<T>> state,
+                          std::uint64_t join_time) {
+  state->done.store(join_time + 1, std::memory_order_release);
+  return Handle<T>(std::move(state));
+}
 
-void amSync(std::uint32_t loc, const std::function<void()>& fn) {
+/// Ship `fn` as an AM whose completion is reported into `state`. The
+/// closure keeps the state alive until the progress thread has stored the
+/// completion time (it writes `req.completion` before dropping `req.fn`).
+/// Counter attribution is the caller's business (am_sync vs am_async).
+template <typename T>
+Handle<T> injectAmHandle(std::uint32_t loc,
+                         std::shared_ptr<detail::HandleState<T>> state,
+                         std::function<void()> fn) {
   Runtime& rt = Runtime::get();
   const LatencyModel& lat = rt.config().latency;
+  state->wire_return_ns = lat.am_wire_ns;
+  AmRequest req;
+  req.fn = [state, fn = std::move(fn)] { fn(); };
+  req.send_time = sim::now();
+  req.completion = &state->done;
+  rt.locale(loc).amQueue().push(std::move(req));
+  // Sender-side injection cost of a one-way message.
+  sim::chargeModelOnly(lat.cpu_atomic_ns);
+  return Handle<T>(std::move(state));
+}
+
+}  // namespace
+
+Handle<> readyHandle() {
+  return completedHandle(std::make_shared<detail::HandleState<void>>(),
+                         sim::now());
+}
+
+void amSync(std::uint32_t loc, const std::function<void()>& fn) {
+  const LatencyModel& lat = Runtime::get().config().latency;
   if (loc == Runtime::here()) {
     // Chapel elides the fork for local `on` bodies; keep a token cost.
     sim::charge(lat.cpu_atomic_ns);
@@ -94,17 +130,36 @@ void amSync(std::uint32_t loc, const std::function<void()>& fn) {
     return;
   }
   bump(g_counters.am_sync);
-  std::atomic<std::uint64_t> completion{0};
-  AmRequest req;
-  req.fn = fn;
-  req.send_time = sim::now();
-  req.completion = &completion;
-  rt.locale(loc).amQueue().push(std::move(req));
-  spinUntil([&completion] {
-    return completion.load(std::memory_order_acquire) != 0;
-  });
-  const std::uint64_t end = completion.load(std::memory_order_acquire) - 1;
-  sim::joinAtLeast(end + lat.am_wire_ns);
+  Handle<> handle = injectAmHandle(
+      loc, std::make_shared<detail::HandleState<void>>(), fn);
+  handle.wait();
+}
+
+void quiesceAmQueues() {
+  Runtime& rt = Runtime::get();
+  const std::uint32_t n = rt.numLocales();
+  std::vector<Handle<>> fences;
+  fences.reserve(n);
+  for (std::uint32_t l = 0; l < n; ++l) {
+    // Deliberately no local fast path: the fence must traverse the queue
+    // (the caller's own queue can hold batches injected by other locales).
+    bump(g_counters.am_fence);
+    fences.push_back(injectAmHandle(
+        l, std::make_shared<detail::HandleState<void>>(), [] {}));
+  }
+  for (Handle<>& fence : fences) fence.wait();
+}
+
+Handle<> amAsyncHandle(std::uint32_t loc, std::function<void()> fn) {
+  const LatencyModel& lat = Runtime::get().config().latency;
+  if (loc == Runtime::here()) {
+    sim::charge(lat.cpu_atomic_ns);
+    fn();
+    return readyHandle();
+  }
+  bump(g_counters.am_async);
+  return injectAmHandle(loc, std::make_shared<detail::HandleState<void>>(),
+                        std::move(fn));
 }
 
 void amAsync(std::uint32_t loc, std::function<void()> fn) {
@@ -154,6 +209,36 @@ std::uint64_t atomicFetchAdd(std::atomic<std::uint64_t>& a, std::uint64_t delta)
   return out;
 }
 
+Handle<std::uint64_t> atomicFetchAddAsync(std::atomic<std::uint64_t>& a,
+                                          std::uint64_t delta) {
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  auto state = std::make_shared<detail::HandleState<std::uint64_t>>();
+  if (rt.commMode() == CommMode::ugni) {
+    // The NIC executes the atomic without caller CPU involvement: issue it
+    // now, completion one NIC-atomic latency out, caller pays only the
+    // injection cost and keeps running.
+    bump(g_counters.nic_atomics);
+    state->value = a.fetch_add(delta, std::memory_order_seq_cst);
+    const std::uint64_t join = sim::now() + lat.nic_atomic_ns;
+    sim::chargeModelOnly(lat.cpu_atomic_ns);
+    return completedHandle(std::move(state), join);
+  }
+  const std::uint32_t owner = ownerOf(&a);
+  if (owner == Runtime::here()) {
+    bump(g_counters.cpu_atomics);
+    sim::charge(lat.cpu_atomic_ns);
+    state->value = a.fetch_add(delta, std::memory_order_seq_cst);
+    return completedHandle(std::move(state), sim::now());
+  }
+  bump(g_counters.am_async);
+  auto* raw = state.get();
+  return injectAmHandle<std::uint64_t>(owner, state, [raw, &a, delta] {
+    sim::charge(Runtime::get().config().latency.cpu_atomic_ns);
+    raw->value = a.fetch_add(delta, std::memory_order_seq_cst);
+  });
+}
+
 bool atomicTestAndSet(std::atomic<std::uint64_t>& flag) {
   std::uint64_t out = 0;
   dispatchAmo(&flag, [&] { out = flag.exchange(1, std::memory_order_seq_cst); });
@@ -182,6 +267,29 @@ bool dcas(U128& target, U128& expected, U128 desired) {
     ok = dcasHardware(&target, expected, desired);
   });
   return ok;
+}
+
+Handle<DcasResult> dcasAsync(U128& target, U128 expected, U128 desired) {
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  const std::uint32_t owner = ownerOf(&target);
+  auto state = std::make_shared<detail::HandleState<DcasResult>>();
+  if (owner == Runtime::here()) {
+    bump(g_counters.dcas_local);
+    sim::charge(lat.cpu_atomic_ns);
+    state->value.success = dcasHardware(&target, expected, desired);
+    state->value.observed = expected;  // updated in place on failure
+    return completedHandle(std::move(state), sim::now());
+  }
+  bump(g_counters.dcas_remote);
+  bump(g_counters.am_async);
+  auto* raw = state.get();
+  return injectAmHandle<DcasResult>(
+      owner, state, [raw, &target, expected, desired]() mutable {
+        sim::charge(Runtime::get().config().latency.cpu_atomic_ns);
+        raw->value.success = dcasHardware(&target, expected, desired);
+        raw->value.observed = expected;
+      });
 }
 
 U128 dread(U128& target) {
@@ -251,12 +359,112 @@ void get(void* dst, std::uint32_t src_locale, const void* src,
   }
 }
 
+Handle<> putAsync(std::uint32_t dst_locale, void* dst, const void* src,
+                  std::size_t bytes) {
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  bump(g_counters.puts);
+  // RDMA: the NIC streams the data; the source buffer is reusable once the
+  // injection returns, and nobody's CPU clock is blocked on the transfer.
+  std::memcpy(dst, src, bytes);
+  std::uint64_t join = sim::now();
+  if (dst_locale != Runtime::here()) {
+    join += lat.bulkCost(bytes);
+    sim::chargeModelOnly(lat.cpu_atomic_ns);
+  }
+  return completedHandle(std::make_shared<detail::HandleState<void>>(), join);
+}
+
+Handle<> getAsync(void* dst, std::uint32_t src_locale, const void* src,
+                  std::size_t bytes) {
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  bump(g_counters.gets);
+  std::memcpy(dst, src, bytes);
+  std::uint64_t join = sim::now();
+  if (src_locale != Runtime::here()) {
+    join += lat.bulkCost(bytes);
+    sim::chargeModelOnly(lat.cpu_atomic_ns);
+  }
+  return completedHandle(std::make_shared<detail::HandleState<void>>(), join);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator
+// ---------------------------------------------------------------------------
+
+Aggregator::~Aggregator() {
+  // Flush only if the runtime the buffers were filled under is still the
+  // active one; otherwise the closures reference dead objects -- drop them.
+  if (total_pending_ != 0 && Runtime::active() &&
+      Runtime::get().generation() == runtime_generation_) {
+    flushAll();
+  }
+}
+
+void Aggregator::adoptRuntime() {
+  Runtime& rt = Runtime::get();
+  if (runtime_generation_ != rt.generation()) {
+    buckets_.assign(rt.numLocales(), {});
+    total_pending_ = 0;
+    runtime_generation_ = rt.generation();
+    if (!configured_) {
+      ops_per_batch_ = rt.config().aggregator_ops_per_batch;
+    }
+  }
+  if (ops_per_batch_ == 0) ops_per_batch_ = 1;
+}
+
+void Aggregator::enqueue(std::uint32_t loc, std::function<void()> op,
+                         std::uint64_t op_weight) {
+  adoptRuntime();
+  if (loc == Runtime::here()) {
+    // Local ops never buffer: run in place (Chapel aggregators do the same).
+    op();
+    return;
+  }
+  PGASNB_CHECK_MSG(loc < buckets_.size(), "aggregator: locale out of range");
+  g_counters.ops_aggregated.fetch_add(op_weight, std::memory_order_relaxed);
+  buckets_[loc].push_back(std::move(op));
+  ++total_pending_;
+  if (buckets_[loc].size() >= ops_per_batch_) flush(loc);
+}
+
+void Aggregator::flush(std::uint32_t loc) {
+  if (loc >= buckets_.size() || buckets_[loc].empty()) return;
+  Runtime& rt = Runtime::get();
+  PGASNB_CHECK_MSG(rt.generation() == runtime_generation_,
+                   "aggregator flush across runtime instances");
+  total_pending_ -= buckets_[loc].size();
+  bump(g_counters.am_batched);
+  AmRequest req;
+  req.batch = std::move(buckets_[loc]);
+  req.send_time = sim::now();
+  rt.locale(loc).amQueue().push(std::move(req));
+  buckets_[loc].clear();  // moved-from: back to a known-empty state
+  // One injection cost per batch -- this is the whole point.
+  sim::chargeModelOnly(rt.config().latency.cpu_atomic_ns);
+}
+
+void Aggregator::flushAll() {
+  for (std::uint32_t loc = 0; loc < buckets_.size(); ++loc) flush(loc);
+}
+
+Aggregator& taskAggregator() {
+  thread_local Aggregator aggregator;
+  return aggregator;
+}
+
 Counters counters() noexcept {
   Counters snapshot;
   snapshot.nic_atomics = g_counters.nic_atomics.load(std::memory_order_relaxed);
   snapshot.cpu_atomics = g_counters.cpu_atomics.load(std::memory_order_relaxed);
   snapshot.am_sync = g_counters.am_sync.load(std::memory_order_relaxed);
   snapshot.am_async = g_counters.am_async.load(std::memory_order_relaxed);
+  snapshot.am_batched = g_counters.am_batched.load(std::memory_order_relaxed);
+  snapshot.am_fence = g_counters.am_fence.load(std::memory_order_relaxed);
+  snapshot.ops_aggregated =
+      g_counters.ops_aggregated.load(std::memory_order_relaxed);
   snapshot.puts = g_counters.puts.load(std::memory_order_relaxed);
   snapshot.gets = g_counters.gets.load(std::memory_order_relaxed);
   snapshot.dcas_local = g_counters.dcas_local.load(std::memory_order_relaxed);
@@ -269,6 +477,9 @@ void resetCounters() noexcept {
   g_counters.cpu_atomics.store(0, std::memory_order_relaxed);
   g_counters.am_sync.store(0, std::memory_order_relaxed);
   g_counters.am_async.store(0, std::memory_order_relaxed);
+  g_counters.am_batched.store(0, std::memory_order_relaxed);
+  g_counters.am_fence.store(0, std::memory_order_relaxed);
+  g_counters.ops_aggregated.store(0, std::memory_order_relaxed);
   g_counters.puts.store(0, std::memory_order_relaxed);
   g_counters.gets.store(0, std::memory_order_relaxed);
   g_counters.dcas_local.store(0, std::memory_order_relaxed);

@@ -1,5 +1,21 @@
 // Communication layer: RDMA-style PUT/GET, remote atomics, and remote
-// execution.
+// execution -- with a non-blocking surface layered on top.
+//
+// Every hot operation has two spellings:
+//   * synchronous  -- blocks the calling task until the remote side is done
+//     and its simulated completion time has been folded into the caller.
+//     `amSync` is literally handle + wait(); the sync atomics/PUT/GET keep
+//     their own bodies because they *charge* the caller (physically
+//     busy-waiting under inject_delays), which a handle join does not.
+//   * asynchronous -- returns a `comm::Handle<T>` immediately; the caller
+//     overlaps further work and calls `wait()`/`value()` when it needs the
+//     result.
+//
+// Fire-and-forget operations destined for the same locale can additionally
+// be *aggregated* (Chapel's unordered/aggregated operations): a per-task
+// `comm::Aggregator` coalesces them into one batched active message per
+// destination, paying one wire latency per batch instead of per op. The
+// distributed EpochManager routes cross-locale retires through this path.
 //
 // This is the layer where CommMode matters:
 //
@@ -22,8 +38,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "runtime/runtime.hpp"
+#include "util/backoff.hpp"
+#include "util/check.hpp"
 
 namespace pgasnb {
 
@@ -39,6 +59,81 @@ struct alignas(16) U128 {
 
 namespace comm {
 
+// --- completion handles ---------------------------------------------------
+
+namespace detail {
+
+/// Shared completion state. `done` holds (join-ready simulated time + 1);
+/// 0 means the operation is still pending. The producer (progress thread or
+/// inline fast path) stores `done` with release order after writing `value`,
+/// so a waiter's acquire load of `done` publishes the value too.
+struct HandleCore {
+  std::atomic<std::uint64_t> done{0};
+  /// Return-path latency folded in at wait() (am_wire_ns for remote AMs,
+  /// 0 for local or RDMA completions whose stored time is already final).
+  std::uint64_t wire_return_ns = 0;
+};
+
+template <typename T>
+struct HandleState : HandleCore {
+  T value{};
+};
+template <>
+struct HandleState<void> : HandleCore {};
+
+}  // namespace detail
+
+/// A lightweight completion future for a non-blocking communication op.
+/// Copyable (shared state); dropping every copy without waiting is legal --
+/// the operation still completes, its result is simply discarded.
+template <typename T = void>
+class Handle {
+ public:
+  Handle() = default;  // invalid
+  /// Internal: adopt a completion state (produced by the comm layer).
+  explicit Handle(std::shared_ptr<detail::HandleState<T>> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// True once the operation has completed (never blocks).
+  bool ready() const noexcept {
+    return state_ != nullptr &&
+           state_->done.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Block (spin) until completion, folding the completion time plus any
+  /// return-wire latency into the calling task's simulated clock. Idempotent.
+  void wait() {
+    PGASNB_CHECK_MSG(valid(), "wait() on an invalid comm::Handle");
+    spinUntil([this] {
+      return state_->done.load(std::memory_order_acquire) != 0;
+    });
+    sim::joinAtLeast(completionTime() + state_->wire_return_ns);
+  }
+
+  /// The operation's simulated completion time at the *target* (valid once
+  /// ready; excludes the return wire). Diagnostics and tests.
+  std::uint64_t completionTime() const noexcept {
+    return state_->done.load(std::memory_order_acquire) - 1;
+  }
+
+  /// Wait, then return the operation's result (non-void handles only).
+  template <typename U = T>
+    requires(!std::is_void_v<U>)
+  const U& value() {
+    wait();
+    return state_->value;
+  }
+
+ private:
+  std::shared_ptr<detail::HandleState<T>> state_;
+};
+
+/// An already-completed handle joining at the current simulated time (used
+/// by async entry points whose fast path ran inline).
+Handle<> readyHandle();
+
 // --- remote execution -------------------------------------------------
 
 /// Run `fn` on `loc`'s progress thread and wait for completion. The calling
@@ -48,6 +143,17 @@ void amSync(std::uint32_t loc, const std::function<void()>& fn);
 
 /// Fire-and-forget handler execution on `loc`'s progress thread.
 void amAsync(std::uint32_t loc, std::function<void()> fn);
+
+/// Non-blocking remote execution: ship `fn` to `loc`'s progress thread and
+/// return immediately with a completion handle. `amSync` is this + wait().
+Handle<> amAsyncHandle(std::uint32_t loc, std::function<void()> fn);
+
+/// Drain every locale's AM queue, *including the caller's own*: a no-op
+/// with a completion channel is pushed through each queue and waited for,
+/// so FIFO service guarantees every previously injected AM (batched or
+/// not) has been handled on return. The epoch layer's clear() uses this to
+/// fence in-flight aggregated retires.
+void quiesceAmQueues();
 
 // --- network-visible 64-bit atomics ------------------------------------
 
@@ -66,6 +172,12 @@ std::uint64_t atomicFetchAdd(std::atomic<std::uint64_t>& a, std::uint64_t delta)
 bool atomicTestAndSet(std::atomic<std::uint64_t>& flag);
 void atomicClear(std::atomic<std::uint64_t>& flag);
 
+/// Non-blocking fetch-add: the operation is issued (NIC atomic under ugni,
+/// active message under none) without blocking the calling task; the handle
+/// resolves to the pre-add value.
+Handle<std::uint64_t> atomicFetchAddAsync(std::atomic<std::uint64_t>& a,
+                                          std::uint64_t delta);
+
 // --- 128-bit operations (pointer + ABA counter) -------------------------
 
 /// Double-word CAS against a (possibly remote) 16-byte word. RDMA NICs
@@ -82,6 +194,18 @@ void dwrite(U128& target, U128 desired);
 /// Atomic 128-bit exchange; returns the previous value.
 U128 dexchange(U128& target, U128 desired);
 
+/// Outcome of an asynchronous DCAS: `observed` is the target's prior value
+/// (== expected on success), so a retry loop can feed it straight back in.
+struct DcasResult {
+  bool success = false;
+  U128 observed{};
+};
+
+/// Non-blocking DCAS. `expected` is taken by value (the caller's copy can't
+/// be updated in place once the op is in flight); inspect the handle's
+/// DcasResult instead.
+Handle<DcasResult> dcasAsync(U128& target, U128 expected, U128 desired);
+
 // --- bulk data movement --------------------------------------------------
 
 /// RDMA PUT: copy `bytes` from local `src` into `dst` on `dst_locale`.
@@ -90,6 +214,69 @@ void put(std::uint32_t dst_locale, void* dst, const void* src, std::size_t bytes
 /// RDMA GET: copy `bytes` from `src` on `src_locale` into local `dst`.
 void get(void* dst, std::uint32_t src_locale, const void* src, std::size_t bytes);
 
+/// Non-blocking PUT/GET: the copy is initiated immediately; the handle
+/// resolves when the (simulated) transfer completes. The source buffer of a
+/// putAsync may be reused as soon as the call returns.
+Handle<> putAsync(std::uint32_t dst_locale, void* dst, const void* src,
+                  std::size_t bytes);
+Handle<> getAsync(void* dst, std::uint32_t src_locale, const void* src,
+                  std::size_t bytes);
+
+// --- aggregation ----------------------------------------------------------
+
+/// Coalesces fire-and-forget operations destined for the same locale into
+/// batched active messages (Chapel's unordered/aggregated ops): one wire
+/// latency + one service charge per batch, one CPU charge per op at the
+/// target. Per-destination FIFO order is preserved; cross-destination order
+/// is not. Not thread-safe -- use one per task (see taskAggregator()).
+///
+/// Buffered ops are shipped when a destination reaches `ops_per_batch`, on
+/// flush()/flushAll(), on destruction, and -- via the epoch layer -- when a
+/// guard unpins. Ops destined for the calling locale run inline.
+class Aggregator {
+ public:
+  /// `ops_per_batch` == 0 means "adopt RuntimeConfig::aggregator_ops_per_batch".
+  explicit Aggregator(std::size_t ops_per_batch = 0)
+      : ops_per_batch_(ops_per_batch), configured_(ops_per_batch != 0) {}
+  ~Aggregator();
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  /// Buffer `op` for `loc`. `op_weight` is the number of logical operations
+  /// the closure performs (a pre-batched retire closure carries many); it
+  /// feeds the ops_aggregated counter and nothing else.
+  void enqueue(std::uint32_t loc, std::function<void()> op,
+               std::uint64_t op_weight = 1);
+
+  /// Ship the pending batch for one destination / for all destinations.
+  void flush(std::uint32_t loc);
+  void flushAll();
+
+  /// Buffered (not yet shipped) closures, total / per destination.
+  std::size_t pending() const noexcept { return total_pending_; }
+  std::size_t pendingFor(std::uint32_t loc) const noexcept {
+    return loc < buckets_.size() ? buckets_[loc].size() : 0;
+  }
+
+  std::size_t opsPerBatch() const noexcept { return ops_per_batch_; }
+
+ private:
+  /// Bind to the active runtime; discards stale buffers from a previous
+  /// runtime generation (their closures reference dead objects).
+  void adoptRuntime();
+
+  std::size_t ops_per_batch_;
+  bool configured_;
+  std::uint64_t runtime_generation_ = 0;
+  std::size_t total_pending_ = 0;
+  std::vector<std::vector<std::function<void()>>> buckets_;
+};
+
+/// The calling task's aggregator (thread-local). The epoch layer drains it
+/// on guard unpin/release, so retires routed through it cannot be stranded.
+Aggregator& taskAggregator();
+
 // --- instrumentation -------------------------------------------------
 
 struct Counters {
@@ -97,14 +284,27 @@ struct Counters {
   std::uint64_t cpu_atomics = 0;
   std::uint64_t am_sync = 0;
   std::uint64_t am_async = 0;
+  std::uint64_t am_batched = 0;      ///< batched AMs shipped by Aggregators
+  std::uint64_t am_fence = 0;        ///< quiesceAmQueues drain fences
+  std::uint64_t ops_aggregated = 0;  ///< logical ops routed through Aggregators
   std::uint64_t puts = 0;
   std::uint64_t gets = 0;
   std::uint64_t dcas_local = 0;
   std::uint64_t dcas_remote = 0;
+
+  /// Every *payload-carrying* active message injected, batched or not.
+  /// Quiesce fences are instrumentation/teardown overhead and are counted
+  /// separately so benchmarks don't misattribute them to the path under
+  /// measurement.
+  std::uint64_t totalAms() const noexcept {
+    return am_sync + am_async + am_batched;
+  }
 };
 
-/// Snapshot of process-wide communication counters (approximate under
-/// concurrency; exact when quiescent). Benchmarks use deltas.
+/// Relaxed snapshot of the process-wide communication counters. Each
+/// counter is a dedicated std::atomic internally, so a snapshot never
+/// tears an individual counter (the set is still only quiescent-exact).
+/// Benchmarks use deltas.
 Counters counters() noexcept;
 void resetCounters() noexcept;
 

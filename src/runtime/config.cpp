@@ -26,6 +26,33 @@ CommMode parseCommMode(const std::string& text, CommMode def) {
   return def;
 }
 
+const char* toString(RemoteRetirePolicy policy) noexcept {
+  switch (policy) {
+    case RemoteRetirePolicy::scatter:
+      return "scatter";
+    case RemoteRetirePolicy::per_op_am:
+      return "per-op-am";
+    case RemoteRetirePolicy::aggregated:
+      return "aggregated";
+  }
+  return "?";
+}
+
+RemoteRetirePolicy parseRemoteRetirePolicy(const std::string& text,
+                                           RemoteRetirePolicy def) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "scatter") return RemoteRetirePolicy::scatter;
+  if (lower == "per-op-am" || lower == "per_op_am" || lower == "perop") {
+    return RemoteRetirePolicy::per_op_am;
+  }
+  if (lower == "aggregated" || lower == "agg") {
+    return RemoteRetirePolicy::aggregated;
+  }
+  return def;
+}
+
 namespace {
 
 const char* envOrNull(const char* name) { return std::getenv(name); }
@@ -50,6 +77,17 @@ RuntimeConfig RuntimeConfig::fromEnv() {
   if (const char* v = envOrNull("PGASNB_DELAY_SCALE")) {
     cfg.latency.delay_scale = std::strtod(v, nullptr);
   }
+  if (const char* v = envOrNull("PGASNB_REMOTE_RETIRE")) {
+    cfg.remote_retire = parseRemoteRetirePolicy(v, cfg.remote_retire);
+  }
+  if (const char* v = envOrNull("PGASNB_RETIRE_BATCH")) {
+    cfg.retire_batch_size =
+        static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+  }
+  if (const char* v = envOrNull("PGASNB_AGG_OPS_PER_BATCH")) {
+    cfg.aggregator_ops_per_batch =
+        static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+  }
   return cfg;
 }
 
@@ -57,6 +95,7 @@ std::string RuntimeConfig::describe() const {
   std::ostringstream os;
   os << "locales=" << num_locales << " workers/locale=" << workers_per_locale
      << " comm=" << toString(comm_mode)
+     << " retire=" << toString(remote_retire)
      << " inject=" << (inject_delays ? "yes" : "no")
      << " delay_scale=" << latency.delay_scale;
   return os.str();

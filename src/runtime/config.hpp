@@ -29,6 +29,28 @@ const char* toString(CommMode mode) noexcept;
 /// Parses "none"/"ugni" (case-insensitive); falls back to `def`.
 CommMode parseCommMode(const std::string& text, CommMode def = CommMode::none);
 
+/// How a DistDomain guard ships a retire whose object lives on another
+/// locale:
+///   * scatter    - paper baseline: push into the *local* limbo list; the
+///                  reclaim pass sorts objects by owner and bulk-transfers
+///                  each bucket (communication deferred to reclaim time).
+///   * per_op_am  - one active message per retire, inserted into the
+///                  owner's limbo list immediately (the naive async path).
+///   * aggregated - per-task batching + comm::Aggregator: retires coalesce
+///                  into one batched AM per destination (default).
+enum class RemoteRetirePolicy : std::uint8_t {
+  scatter,
+  per_op_am,
+  aggregated,
+};
+
+const char* toString(RemoteRetirePolicy policy) noexcept;
+
+/// Parses "scatter"/"per-op-am"/"aggregated" (case-insensitive).
+RemoteRetirePolicy parseRemoteRetirePolicy(
+    const std::string& text,
+    RemoteRetirePolicy def = RemoteRetirePolicy::aggregated);
+
 struct RuntimeConfig {
   /// Number of simulated locales (compute nodes). The pointer-compression
   /// scheme supports up to 2^16; see atomic/pointer_compression.hpp.
@@ -41,6 +63,17 @@ struct RuntimeConfig {
 
   CommMode comm_mode = CommMode::none;
 
+  /// Cross-locale retire routing (see RemoteRetirePolicy).
+  RemoteRetirePolicy remote_retire = RemoteRetirePolicy::aggregated;
+
+  /// Aggregated retires: entries buffered per (guard, destination) before
+  /// the batch is handed to the task's comm::Aggregator.
+  std::uint32_t retire_batch_size = 64;
+
+  /// comm::Aggregator: closures buffered per destination before a batched
+  /// AM is injected (0 is treated as 1).
+  std::uint32_t aggregator_ops_per_batch = 64;
+
   LatencyModel latency{};
 
   /// When true, communication costs are also *physically* injected as
@@ -52,7 +85,8 @@ struct RuntimeConfig {
   std::size_t arena_bytes_per_locale = std::size_t{64} << 20;
 
   /// Reads PGASNB_NUM_LOCALES, PGASNB_COMM_MODE, PGASNB_WORKERS,
-  /// PGASNB_INJECT_DELAYS, PGASNB_DELAY_SCALE on top of the defaults.
+  /// PGASNB_INJECT_DELAYS, PGASNB_DELAY_SCALE, PGASNB_REMOTE_RETIRE,
+  /// PGASNB_RETIRE_BATCH, PGASNB_AGG_OPS_PER_BATCH on top of the defaults.
   static RuntimeConfig fromEnv();
 
   std::string describe() const;

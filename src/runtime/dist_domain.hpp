@@ -5,8 +5,8 @@
 // C++ rendering of that loop:
 //
 //   arr.forallTasks(tasks_per_locale,
-//                   [&] { return manager.registerTask(); },   // task intent
-//                   [&](auto& tok, std::uint64_t i, T& elem) { ... });
+//                   [&] { return domain.pin(); },             // task intent
+//                   [&](auto& guard, std::uint64_t i, T& elem) { ... });
 #pragma once
 
 #include <cstdint>

@@ -11,10 +11,15 @@ namespace pgasnb {
 namespace {
 
 std::atomic<Runtime*> g_runtime{nullptr};
+std::atomic<std::uint64_t> g_runtime_generation{0};
 
 }  // namespace
 
-Runtime::Runtime(RuntimeConfig config) : config_(config) {
+Runtime::Runtime(RuntimeConfig config)
+    : config_(config),
+      generation_(g_runtime_generation.fetch_add(1,
+                                                 std::memory_order_relaxed) +
+                  1) {
   PGASNB_CHECK_MSG(config_.num_locales >= 1, "need at least one locale");
   PGASNB_CHECK_MSG(config_.workers_per_locale >= 1,
                    "need at least one worker per locale");

@@ -39,6 +39,11 @@ class Runtime {
   const RuntimeConfig& config() const noexcept { return config_; }
   CommMode commMode() const noexcept { return config_.comm_mode; }
 
+  /// Monotonic per-process id of this Runtime instance (never 0). Long-lived
+  /// thread-local state (e.g. comm::Aggregator buffers) uses it to detect
+  /// that a previous runtime died and its buffered closures are stale.
+  std::uint64_t generation() const noexcept { return generation_; }
+
   Locale& locale(std::uint32_t id);
   TaskQueue& taskQueue(std::uint32_t id) { return locale(id).taskQueue(); }
 
@@ -79,6 +84,7 @@ class Runtime {
 
  private:
   RuntimeConfig config_;
+  std::uint64_t generation_ = 0;
   std::byte* heap_base_ = nullptr;
   std::size_t heap_bytes_ = 0;
   std::size_t per_locale_bytes_ = 0;

@@ -1,0 +1,367 @@
+// The asynchronous communication surface: completion handles, the
+// ProgressThread's FIFO busy_until model, the per-task Aggregator (flush
+// ordering, threshold flush, counters), and the aggregated cross-locale
+// retire path including flush-on-guard-unpin.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace pgasnb {
+namespace {
+
+using testing::RuntimeTest;
+using testing::testConfig;
+
+struct Tracked {
+  static std::atomic<int> live;
+  std::uint64_t payload = 0xD15C;
+  Tracked() { live.fetch_add(1); }
+  ~Tracked() { live.fetch_sub(1); }
+};
+std::atomic<int> Tracked::live{0};
+
+class CommAsyncTest : public RuntimeTest {
+ protected:
+  void SetUp() override {
+    Tracked::live.store(0);
+    comm::resetCounters();
+  }
+};
+
+// --- completion handles -----------------------------------------------------
+
+TEST_F(CommAsyncTest, LocalAmHandleIsImmediatelyReady) {
+  startRuntime(2);
+  int ran = 0;
+  auto h = comm::amAsyncHandle(Runtime::here(), [&ran] { ran = 1; });
+  EXPECT_TRUE(h.valid());
+  EXPECT_TRUE(h.ready());  // local fast path runs inline
+  EXPECT_EQ(ran, 1);
+  h.wait();  // idempotent, no deadlock
+}
+
+TEST_F(CommAsyncTest, RemoteAmHandleResolvesAndJoinsTheClock) {
+  startRuntime(2);
+  sim::setNow(0);
+  std::atomic<int> ran{0};
+  auto h = comm::amAsyncHandle(1, [&ran] { ran.store(1); });
+  h.wait();
+  EXPECT_EQ(ran.load(), 1);
+  const LatencyModel& lat = runtime_->config().latency;
+  // Serviced at wire + service; the waiter also pays the return wire.
+  EXPECT_EQ(h.completionTime(), lat.am_wire_ns + lat.am_service_ns);
+  EXPECT_GE(sim::now(), h.completionTime() + lat.am_wire_ns);
+}
+
+TEST_F(CommAsyncTest, ProgressThreadModelsFifoBusyUntil) {
+  startRuntime(2);
+  sim::setNow(0);
+  auto h1 = comm::amAsyncHandle(1, [] {});
+  auto h2 = comm::amAsyncHandle(1, [] {});
+  h1.wait();
+  h2.wait();
+  const LatencyModel& lat = runtime_->config().latency;
+  // FIFO queueing: the second message arrives while the channel is still
+  // busy with the first, so its service starts at the first's end time.
+  EXPECT_EQ(h1.completionTime(), lat.am_wire_ns + lat.am_service_ns);
+  EXPECT_EQ(h2.completionTime(), lat.am_wire_ns + 2 * lat.am_service_ns);
+}
+
+TEST_F(CommAsyncTest, FetchAddAsyncReturnsThePriorValue) {
+  startRuntime(2);
+  auto* a = gnewOn<std::atomic<std::uint64_t>>(1, 10u);
+  auto h = comm::atomicFetchAddAsync(*a, 5);
+  EXPECT_EQ(h.value(), 10u);
+  EXPECT_EQ(comm::atomicRead(*a), 15u);
+  onLocale(1, [a] { gdelete(a); });
+}
+
+TEST_F(CommAsyncTest, FetchAddAsyncUnderUgniDoesNotBlockTheIssuer) {
+  startRuntime(2, CommMode::ugni);
+  auto* a = gnewOn<std::atomic<std::uint64_t>>(1, 1u);
+  sim::setNow(0);
+  auto h = comm::atomicFetchAddAsync(*a, 1);
+  const LatencyModel& lat = runtime_->config().latency;
+  // The NIC owns the op: the issuer pays only the injection cost...
+  EXPECT_LT(sim::now(), lat.nic_atomic_ns);
+  // ...and the result resolves one NIC-atomic latency out.
+  EXPECT_EQ(h.value(), 1u);
+  EXPECT_GE(sim::now(), lat.nic_atomic_ns);
+  onLocale(1, [a] { gdelete(a); });
+}
+
+TEST_F(CommAsyncTest, DcasAsyncReportsSuccessAndObservedValue) {
+  startRuntime(2);
+  U128* word = gnewOn<U128>(1);
+  comm::dwrite(*word, U128{1, 2});
+
+  auto ok = comm::dcasAsync(*word, U128{1, 2}, U128{3, 4});
+  EXPECT_TRUE(ok.value().success);
+  EXPECT_EQ(ok.value().observed.lo, 1u);
+
+  auto fail = comm::dcasAsync(*word, U128{9, 9}, U128{5, 5});
+  EXPECT_FALSE(fail.value().success);
+  EXPECT_EQ(fail.value().observed.lo, 3u);  // prior value reported back
+  onLocale(1, [word] { gdelete(word); });
+}
+
+TEST_F(CommAsyncTest, PutGetAsyncMoveBytesAndResolve) {
+  startRuntime(2);
+  std::uint64_t* remote = gnewOn<std::uint64_t>(1, 0u);
+  std::uint64_t src = 0xABCDEF;
+  auto hp = comm::putAsync(1, remote, &src, sizeof(src));
+  hp.wait();
+  std::uint64_t dst = 0;
+  auto hg = comm::getAsync(&dst, 1, remote, sizeof(dst));
+  hg.wait();
+  EXPECT_EQ(dst, 0xABCDEFu);
+  onLocale(1, [remote] { gdelete(remote); });
+}
+
+// --- aggregator -------------------------------------------------------------
+
+TEST_F(CommAsyncTest, BatchedAmPaysOneLatencyPlusPerOpCpu) {
+  startRuntime(2);
+  sim::setNow(0);
+  comm::Aggregator agg;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 3; ++i) {
+    agg.enqueue(1, [&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(agg.pending(), 3u);
+  EXPECT_EQ(agg.pendingFor(1), 3u);
+  agg.flushAll();
+  EXPECT_EQ(agg.pending(), 0u);
+  // FIFO probe: serviced strictly after the batch.
+  auto probe = comm::amAsyncHandle(1, [] {});
+  probe.wait();
+  EXPECT_EQ(ran.load(), 3);
+
+  const LatencyModel& lat = runtime_->config().latency;
+  // One wire+service charge for the whole batch, one CPU charge per op,
+  // then the probe's own service behind it in FIFO order.
+  EXPECT_EQ(probe.completionTime(), lat.am_wire_ns + lat.am_service_ns +
+                                        3 * lat.cpu_atomic_ns +
+                                        lat.am_service_ns);
+  const auto c = comm::counters();
+  EXPECT_EQ(c.am_batched, 1u);
+  EXPECT_EQ(c.ops_aggregated, 3u);
+  EXPECT_EQ(c.am_async, 1u);  // just the probe
+  EXPECT_EQ(c.am_sync, 0u);
+}
+
+TEST_F(CommAsyncTest, AggregatorFlushesAtThresholdAndPreservesOrder) {
+  startRuntime(3);
+  comm::Aggregator agg(/*ops_per_batch=*/4);
+  std::mutex lock;
+  std::vector<int> order1, order2;
+  for (int i = 0; i < 9; ++i) {
+    agg.enqueue(1, [&lock, &order1, i] {
+      std::lock_guard<std::mutex> g(lock);
+      order1.push_back(i);
+    });
+    agg.enqueue(2, [&lock, &order2, i] {
+      std::lock_guard<std::mutex> g(lock);
+      order2.push_back(i);
+    });
+  }
+  // 9 ops per destination at threshold 4: two automatic batches each, one
+  // op left buffered.
+  EXPECT_EQ(comm::counters().am_batched, 4u);
+  EXPECT_EQ(agg.pendingFor(1), 1u);
+  EXPECT_EQ(agg.pendingFor(2), 1u);
+  agg.flushAll();
+  EXPECT_EQ(comm::counters().am_batched, 6u);
+  comm::amSync(1, [] {});  // FIFO drain
+  comm::amSync(2, [] {});
+  const std::vector<int> expected{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(order1, expected) << "per-destination order must be preserved";
+  EXPECT_EQ(order2, expected);
+  EXPECT_EQ(comm::counters().ops_aggregated, 18u);
+}
+
+TEST_F(CommAsyncTest, AggregatorRunsLocalOpsInline) {
+  startRuntime(2);
+  comm::Aggregator agg;
+  int ran = 0;
+  agg.enqueue(Runtime::here(), [&ran] { ran = 1; });
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(agg.pending(), 0u);
+  EXPECT_EQ(comm::counters().am_batched, 0u);
+}
+
+TEST_F(CommAsyncTest, AggregatorDestructorFlushes) {
+  startRuntime(2);
+  std::atomic<int> ran{0};
+  {
+    comm::Aggregator agg;
+    agg.enqueue(1, [&ran] { ran.store(1); });
+  }  // dtor flushes
+  comm::amSync(1, [] {});  // FIFO drain
+  EXPECT_EQ(ran.load(), 1);
+}
+
+// --- aggregated cross-locale retires ---------------------------------------
+
+TEST_F(CommAsyncTest, GuardUnpinFlushesBufferedRetires) {
+  RuntimeConfig cfg = testConfig(2);
+  cfg.remote_retire = RemoteRetirePolicy::aggregated;
+  runtime_ = std::make_unique<Runtime>(cfg);
+  DistDomain domain = DistDomain::create();
+  {
+    auto guard = domain.attach();
+    guard.pin();
+    guard.retire(gnewOn<Tracked>(1));
+    guard.retire(gnewOn<Tracked>(1));
+    // Still buffered in the guard: nothing deferred anywhere yet.
+    EXPECT_EQ(guard.pendingRetires(), 2u);
+    EXPECT_EQ(domain.stats().deferred, 0u);
+    guard.unpin();
+    EXPECT_EQ(guard.pendingRetires(), 0u) << "unpin must flush";
+    comm::amSync(1, [] {});  // FIFO drain of the batched AM
+    EXPECT_EQ(domain.stats().deferred, 2u)
+        << "flushed retires land in the owner's limbo list";
+    EXPECT_GE(comm::counters().am_batched, 1u);
+  }
+  EXPECT_EQ(Tracked::live.load(), 2) << "retire defers, never frees eagerly";
+  domain.clear();
+  EXPECT_EQ(Tracked::live.load(), 0);
+  domain.destroy();
+}
+
+TEST_F(CommAsyncTest, RetireBatchThresholdShipsWithoutUnpin) {
+  RuntimeConfig cfg = testConfig(2);
+  cfg.remote_retire = RemoteRetirePolicy::aggregated;
+  cfg.retire_batch_size = 4;
+  cfg.aggregator_ops_per_batch = 1;  // ship each batch closure immediately
+  runtime_ = std::make_unique<Runtime>(cfg);
+  DistDomain domain = DistDomain::create();
+  {
+    auto guard = domain.pin();
+    for (int i = 0; i < 4; ++i) guard.retire(gnewOn<Tracked>(1));
+    EXPECT_EQ(guard.pendingRetires(), 0u) << "threshold reached: shipped";
+    comm::amSync(1, [] {});
+    EXPECT_EQ(domain.stats().deferred, 4u);
+  }
+  domain.clear();
+  EXPECT_EQ(Tracked::live.load(), 0);
+  domain.destroy();
+}
+
+TEST_F(CommAsyncTest, RetireCountDivisibleByBatchSizeStillShipsOnUnpin) {
+  // Regression: when the retire count is an exact multiple of
+  // retire_batch_size, every bucket drains via the threshold path and the
+  // guard's own buffers are empty at reset -- but the batch closures are
+  // still sitting in the task aggregator below *its* threshold. The reset
+  // flush must ship them anyway, or they strand in the thread-local buffer
+  // past the domain's lifetime.
+  RuntimeConfig cfg = testConfig(2);
+  cfg.remote_retire = RemoteRetirePolicy::aggregated;
+  cfg.retire_batch_size = 4;
+  cfg.aggregator_ops_per_batch = 64;  // closures alone never trip it
+  runtime_ = std::make_unique<Runtime>(cfg);
+  DistDomain domain = DistDomain::create();
+  {
+    auto guard = domain.pin();
+    for (int i = 0; i < 8; ++i) guard.retire(gnewOn<Tracked>(1));
+    EXPECT_EQ(guard.pendingRetires(), 0u) << "all buckets drained at threshold";
+  }  // guard reset: must flushAll() the aggregator despite empty buckets
+  comm::quiesceAmQueues();
+  EXPECT_EQ(domain.stats().deferred, 8u)
+      << "threshold-shipped batches must not strand in the aggregator";
+  domain.clear();
+  EXPECT_EQ(Tracked::live.load(), 0);
+  domain.destroy();
+}
+
+/// All three retire policies must agree on observable behavior: everything
+/// deferred, everything reclaimed on its owner, nothing freed early.
+class RetirePolicyTest
+    : public ::testing::TestWithParam<RemoteRetirePolicy> {};
+
+TEST_P(RetirePolicyTest, CrossLocaleRetiresReclaimEverywhere) {
+  Tracked::live.store(0);
+  RuntimeConfig cfg = testConfig(4);
+  cfg.remote_retire = GetParam();
+  Runtime rt(cfg);
+  DistDomain domain = DistDomain::create();
+  constexpr int kPerLocale = 40;
+  coforallLocales([domain] {
+    auto guard = domain.pin();
+    const std::uint32_t nloc = Runtime::get().numLocales();
+    for (int i = 0; i < kPerLocale; ++i) {
+      const std::uint32_t target =
+          (Runtime::here() + 1 + static_cast<std::uint32_t>(i) % (nloc - 1)) %
+          nloc;
+      guard.retire(gnewOn<Tracked>(target));
+    }
+  });
+  EXPECT_EQ(Tracked::live.load(), kPerLocale * 4);
+  domain.clear();
+  EXPECT_EQ(Tracked::live.load(), 0);
+  const auto s = domain.stats();
+  EXPECT_EQ(s.deferred, static_cast<std::uint64_t>(kPerLocale) * 4);
+  EXPECT_EQ(s.reclaimed, s.deferred);
+  domain.destroy();
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RetirePolicyTest,
+                         ::testing::Values(RemoteRetirePolicy::scatter,
+                                           RemoteRetirePolicy::per_op_am,
+                                           RemoteRetirePolicy::aggregated),
+                         [](const auto& info) {
+                           std::string name = toString(info.param);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- async data-structure operations ----------------------------------------
+
+TEST_F(CommAsyncTest, DistStackPushAsyncLinksOnHomeLocale) {
+  startRuntime(4);
+  DistDomain domain = DistDomain::create();
+  auto* stack = DistStack<std::uint64_t>::create(domain, /*home=*/0);
+  constexpr int kPerLocale = 32;
+  coforallLocales([domain, stack] {
+    auto guard = domain.pin();
+    std::vector<comm::Handle<>> handles;
+    handles.reserve(kPerLocale);
+    for (int i = 0; i < kPerLocale; ++i) {
+      handles.push_back(
+          stack->pushAsync(guard, Runtime::here() * 1000 + i));
+    }
+    for (auto& h : handles) h.wait();
+  });
+  {
+    auto guard = domain.pin();
+    int popped = 0;
+    while (stack->pop(guard).has_value()) ++popped;
+    EXPECT_EQ(popped, kPerLocale * 4);
+  }
+  DistStack<std::uint64_t>::destroy(stack);
+  domain.destroy();
+}
+
+TEST_F(CommAsyncTest, MsQueueEnqueueAsyncKeepsFifoLocally) {
+  LocalDomain domain;
+  MsQueue<int> queue(domain);
+  auto guard = domain.pin();
+  for (int i = 0; i < 16; ++i) {
+    auto h = queue.enqueueAsync(guard, i);
+    EXPECT_TRUE(h.ready()) << "local enqueueAsync completes inline";
+  }
+  for (int i = 0; i < 16; ++i) {
+    auto v = queue.dequeue(guard);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+}  // namespace
+}  // namespace pgasnb

@@ -53,6 +53,35 @@ TEST(LimboList, PopReturnsLifoChain) {
   EXPECT_EQ(chain, nullptr);
 }
 
+TEST(LimboList, PushChainSplicesInOneExchange) {
+  LimboList list;
+  // A privately pre-linked chain a -> b -> c plus an earlier single push.
+  LimboNode older, a, b, c;
+  list.push(&older);
+  a.next.store(&b, std::memory_order_relaxed);
+  b.next.store(&c, std::memory_order_relaxed);
+  list.pushChain(&a, &c);
+
+  LimboNode* chain = list.popAll();
+  ASSERT_EQ(chain, &a) << "chain head becomes the list head";
+  EXPECT_EQ(LimboList::next(chain), &b);
+  EXPECT_EQ(LimboList::next(&b), &c);
+  EXPECT_EQ(LimboList::next(&c), &older) << "chain tail links the old head";
+  EXPECT_EQ(LimboList::next(&older), nullptr);
+  EXPECT_TRUE(list.emptyApprox());
+}
+
+TEST(LimboList, PushChainIntoEmptyList) {
+  LimboList list;
+  LimboNode a, b;
+  a.next.store(&b, std::memory_order_relaxed);
+  list.pushChain(&a, &b);
+  LimboNode* chain = list.popAll();
+  ASSERT_EQ(chain, &a);
+  EXPECT_EQ(LimboList::next(&a), &b);
+  EXPECT_EQ(LimboList::next(&b), nullptr);
+}
+
 TEST(LimboList, PopAllLeavesListReusable) {
   LimboList list;
   LimboNode a, b;
