@@ -1,12 +1,16 @@
-// Distributed work queue: a global-view DistStack as a task bag.
+// Distributed work queue: a global-view DistStack as a task bag, consumed
+// in the *drain-loop* style of the composable completion API.
 //
 //   ./examples/dist_workqueue [--locales=N] [--items=K] [--comm=ugni|none]
 //
-// Locale 0 seeds a bag of integration subintervals; every locale's workers
-// grab work items concurrently from the shared non-blocking stack, compute
-// a numeric integral over their subinterval, and push partial sums into a
-// results accumulator. The DistDomain reclaims the work-item nodes --
-// each on the locale that allocated it -- while consumers race.
+// Locale 0 seeds a bag of integration subintervals with pipelined async
+// pushes (joined in one waitAll sweep). Every locale then keeps a window
+// of popAsync operations in flight and *drains* a comm::CompletionQueue --
+// the home locale's progress thread pushes each completion in as the
+// shipped pop loop finishes, the consumer computes the integral while the
+// next pops are already on the wire, and reissues into the drained slot.
+// No spin-polling anywhere. The DistDomain reclaims the work-item nodes
+// while consumers race.
 #include <cmath>
 #include <cstdio>
 
@@ -53,8 +57,8 @@ int main(int argc, char** argv) {
 
   // Seed: locale 0 splits [0, 1] into `items` subintervals. Pushes are
   // issued asynchronously (the link loop ships to the bag's home locale)
-  // and joined in one sweep -- seeding overlaps instead of paying one
-  // round trip per item.
+  // and joined in one waitAll sweep -- seeding overlaps instead of paying
+  // one round trip per item.
   {
     auto guard = domain.pin();
     std::vector<comm::Handle<>> in_flight;
@@ -64,24 +68,43 @@ int main(int argc, char** argv) {
       const double hi = static_cast<double>(i + 1) / items;
       in_flight.push_back(bag->pushAsync(guard, WorkItem{lo, hi}));
     }
-    for (auto& h : in_flight) h.wait();
+    comm::waitAll(in_flight);
   }
 
-  // Consume: every locale drains the shared bag; partial sums aggregate
-  // into per-locale cells, then a final reduction.
+  // Consume, drain-loop style: each locale keeps a window of shipped pops
+  // in flight; the progress thread pushes completions into the task's
+  // CompletionQueue, and every drained slot is reissued until the bag runs
+  // dry. The integral for one item is computed while the next pops are
+  // already being serviced at the bag's home locale.
+  constexpr std::uint64_t kWindow = 8;
   std::atomic<std::uint64_t> items_done{0};
   std::vector<CachePadded<std::atomic<double>>> partial(cfg.num_locales);
   coforallLocales([&, domain, bag] {
     auto guard = domain.attach();
+    comm::CompletionQueue cq;
+    std::vector<comm::Handle<std::optional<WorkItem>>> slots(kWindow);
+    auto issue = [&](std::uint64_t slot) {
+      guard.pin();
+      slots[slot] = bag->popAsync(guard);
+      guard.unpin();
+      cq.watch(slots[slot], slot);
+    };
+    for (std::uint64_t s = 0; s < kWindow; ++s) issue(s);
+
     double local_sum = 0.0;
     std::uint64_t local_count = 0;
-    while (true) {
-      guard.pin();
-      auto item = bag->pop(guard);
-      guard.unpin();
-      if (!item.has_value()) break;
+    bool drained = false;
+    while (auto slot = cq.next()) {
+      const auto& item = slots[*slot].value();
+      if (!item.has_value()) {
+        // The bag was empty at this pop's linearization; pops only remove,
+        // so it stays empty -- stop reissuing and let the window drain.
+        drained = true;
+        continue;
+      }
       local_sum += integrate(*item);
       ++local_count;
+      if (!drained) issue(*slot);
       if (local_count % 64 == 0) guard.tryReclaim();
     }
     partial[Runtime::here()]->store(local_sum, std::memory_order_relaxed);

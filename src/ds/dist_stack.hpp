@@ -104,6 +104,55 @@ class DistStack {
     return comm::readyHandle();
   }
 
+  /// Non-blocking pop via operation shipping: the whole pop loop runs on
+  /// the stack's home locale -- head read, node snapshot and CAS are all
+  /// locale-local there -- under the progress thread's *cached* epoch guard
+  /// (one token registration per (progress thread, domain), pinned per
+  /// handler; see DistDomain::threadGuard). The handle resolves to the
+  /// popped value, or nullopt if the stack was empty at linearization.
+  comm::Handle<std::optional<T>> popAsync(Guard& guard) {
+    PGASNB_CHECK_MSG(guard.pinned(),
+                     "DistStack::popAsync requires a pinned guard");
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t home = Runtime::get().localeOfAddress(this);
+      if (home != Runtime::here()) {
+        return comm::amAsyncValue<std::optional<T>>(home, [this] {
+          PinScope<Guard> pin(domain().threadGuard());
+          return pop(pin.guard());
+        });
+      }
+    }
+    return comm::readyValueHandle(pop(guard));
+  }
+
+  /// Batched flavor of popAsync: the shipped pop rides the calling task's
+  /// comm::Aggregator, so a window of pops pays one wire+service charge
+  /// per batch instead of per pop, and the whole window's handles resolve
+  /// together when their batch is serviced. CAUTION: a buffered pop only
+  /// ships at batch-full / age / flush -- flush the aggregator
+  /// (comm::taskAggregator().flushAll()) before waiting on the handles.
+  comm::Handle<std::optional<T>> popAsyncAggregated(Guard& guard) {
+    PGASNB_CHECK_MSG(guard.pinned(),
+                     "DistStack::popAsyncAggregated requires a pinned guard");
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t home = Runtime::get().localeOfAddress(this);
+      if (home != Runtime::here()) {
+        auto state =
+            std::make_shared<comm::detail::HandleState<std::optional<T>>>();
+        auto* raw = state.get();
+        comm::taskAggregator().enqueueWithCore(
+            home,
+            [this, raw] {
+              PinScope<Guard> pin(domain().threadGuard());
+              raw->value = pop(pin.guard());
+            },
+            state);
+        return comm::Handle<std::optional<T>>(std::move(state));
+      }
+    }
+    return comm::readyValueHandle(pop(guard));
+  }
+
   std::optional<T> pop(Guard& guard) {
     PGASNB_CHECK_MSG(guard.pinned(), "DistStack::pop requires a pinned guard");
     while (true) {

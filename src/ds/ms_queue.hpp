@@ -5,32 +5,48 @@
 // nodes go through the reclaim domain, which is what makes the optimistic
 // `head->next` read safe without hazard pointers.
 //
-// The algorithm body is Domain-generic; LocalDomain (the default and the
-// tested configuration) gives the classic shared-memory queue. A
-// DistDomain instantiation compiles and puts the head/tail words behind
-// network-visible atomics with nodes in locale arenas, but node *fields*
-// are still read with direct loads -- valid only in the single-address-
-// space simulation, and not charged to the latency model. A faithful
-// distributed queue needs DistStack-style snapshot GETs; until then
-// prefer DistStack for cross-locale work.
+// The algorithm body is Domain-generic. LocalDomain (the default) gives
+// the classic shared-memory queue: plain processor atomics, heap nodes, no
+// runtime required. Under DistDomain the queue is *communication-faithful*:
+// the head/tail words are network-visible AtomicObjects, and node fields
+// are no longer touched with direct loads -- the `next` link is a
+// network-visible 64-bit atomic driven through comm::atomicRead/atomicCas
+// (NIC atomic under ugni, AM under none, charged either way), and a
+// remote dummy's value comes back via a charged RDMA snapshot GET, exactly
+// like DistStack. This closes the single-address-space shortcut the
+// pre-PR-3 version documented.
+//
+// Async surface: enqueueAsync/dequeueAsync ship the operation to the
+// queue's home locale (where the head/tail words live) and return
+// completion handles; the shipped handler pins the progress thread's
+// cached guard (one registration per (thread, domain)) instead of
+// registering a token per message.
 #pragma once
 
 #include <atomic>
 #include <optional>
+#include <type_traits>
 #include <utility>
 
 #include "atomic/domain_traits.hpp"
 #include "epoch/domain.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/task.hpp"
 #include "util/check.hpp"
 
 namespace pgasnb {
 
 template <typename T, ReclaimDomain Domain = LocalDomain>
 class MsQueue {
+  static_assert(!Domain::kDistributed || std::is_trivially_copyable_v<T>,
+                "MsQueue elements move across locales by RDMA GET under a "
+                "distributed domain; they must be trivially copyable");
+
   struct Node {
     T value{};
-    std::atomic<Node*> next{nullptr};
+    /// Node* bits. Network-visible under DistDomain (remote links are read
+    /// and CASed through the comm layer); a plain atomic under LocalDomain.
+    std::atomic<std::uint64_t> next{0};
   };
 
  public:
@@ -48,8 +64,8 @@ class MsQueue {
   ~MsQueue() {
     Node* node = head_.read();
     while (node != nullptr) {
-      Node* next = node->next.load(std::memory_order_relaxed);
-      Domain::template destroyNode<Node>(node);
+      Node* next = loadNext(node);
+      destroyOnOwner(node);
       node = next;
     }
   }
@@ -66,10 +82,6 @@ class MsQueue {
   /// Non-blocking enqueue: allocate the node here, ship the append loop to
   /// the queue's home locale (where the head/tail words live), return a
   /// completion handle. FIFO visibility starts when the handle is ready.
-  /// Cost note: the remote handler registers a fresh epoch token per
-  /// message on the home progress thread (the append dereferences the
-  /// observed tail, so it needs the pin); a per-thread registration cache
-  /// would amortize that -- tracked in ROADMAP.
   comm::Handle<> enqueueAsync(Guard& guard, T value) {
     PGASNB_CHECK_MSG(guard.pinned(),
                      "MsQueue::enqueueAsync requires a pinned guard");
@@ -80,8 +92,10 @@ class MsQueue {
       if (home != Runtime::here()) {
         return comm::amAsyncHandle(home, [this, node] {
           // The append loop dereferences the observed tail, which may be a
-          // node another task just retired: the handler pins its own guard.
-          auto handler_guard = domain().pin();
+          // node another task just retired: pin the progress thread's
+          // cached guard (one token registration per (thread, domain))
+          // around the handler instead of registering per message.
+          PinScope<Guard> pin(domain().threadGuard());
           enqueueNode(node);
         });
       }
@@ -101,7 +115,7 @@ class MsQueue {
     while (true) {
       Node* head = head_.read();
       Node* tail = tail_.read();
-      Node* next = head->next.load(std::memory_order_acquire);
+      Node* next = loadNext(head);
       if (head != head_.read()) continue;
       if (next == nullptr) return std::nullopt;  // empty (head == tail)
       if (head == tail) {
@@ -111,32 +125,109 @@ class MsQueue {
       }
       if (head_.compareAndSwap(head, next)) {
         // `next` is the new dummy; its value slot is ours alone now.
-        std::optional<T> out(std::move(next->value));
+        std::optional<T> out(readValue(next));
         Domain::retireNode(guard, head);
         return out;
       }
     }
   }
 
+  /// Non-blocking dequeue via operation shipping: the dequeue loop runs on
+  /// the queue's home locale under the progress thread's cached guard; the
+  /// handle resolves to the value, or nullopt if the queue was empty at
+  /// linearization.
+  comm::Handle<std::optional<T>> dequeueAsync(Guard& guard) {
+    PGASNB_CHECK_MSG(guard.pinned(),
+                     "MsQueue::dequeueAsync requires a pinned guard");
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t home = Runtime::get().localeOfAddress(this);
+      if (home != Runtime::here()) {
+        return comm::amAsyncValue<std::optional<T>>(home, [this] {
+          PinScope<Guard> pin(domain().threadGuard());
+          return dequeue(pin.guard());
+        });
+      }
+    }
+    return comm::readyValueHandle(dequeue(guard));
+  }
+
   bool emptyApprox() const {
     Node* head = head_.read();
-    return head->next.load(std::memory_order_acquire) == nullptr;
+    return loadNext(head) == nullptr;
   }
 
  private:
+  static Node* toNode(std::uint64_t bits) noexcept {
+    return reinterpret_cast<Node*>(bits);
+  }
+  static std::uint64_t toBits(Node* node) noexcept {
+    return reinterpret_cast<std::uint64_t>(node);
+  }
+
+  /// Read a node's link. The node may live on any locale: under DistDomain
+  /// this is a network-visible atomic read (NIC atomic under ugni, local
+  /// processor atomic or AM under none), charged to the sim clock by the
+  /// comm layer -- the distributed analogue of DistStack's snapshot GET,
+  /// atomic because enqueuers CAS this word concurrently.
+  Node* loadNext(Node* node) const {
+    if constexpr (Domain::kDistributed) {
+      return toNode(comm::atomicRead(node->next));
+    } else {
+      return toNode(node->next.load(std::memory_order_acquire));
+    }
+  }
+
+  bool casNext(Node* node, Node* expected, Node* desired) {
+    std::uint64_t e = toBits(expected);
+    if constexpr (Domain::kDistributed) {
+      return comm::atomicCas(node->next, e, toBits(desired));
+    } else {
+      return node->next.compare_exchange_strong(e, toBits(desired),
+                                                std::memory_order_seq_cst);
+    }
+  }
+
+  /// Read the new dummy's value after winning the head CAS. The slot is
+  /// ours alone (written before the node was published), so a remote node
+  /// is fetched with a charged RDMA snapshot GET, DistStack-style.
+  T readValue(Node* node) {
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t owner = Runtime::get().localeOfAddress(node);
+      if (owner != Runtime::here()) {
+        T out{};
+        comm::get(&out, owner, &node->value, sizeof(T));
+        return out;
+      }
+      return node->value;
+    } else {
+      return std::move(node->value);
+    }
+  }
+
+  /// Teardown: nodes live on whichever locale enqueued them; a distributed
+  /// domain's arena delete must run on the owner.
+  void destroyOnOwner(Node* node) {
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t owner = Runtime::get().localeOfAddress(node);
+      if (owner != Runtime::here()) {
+        onLocale(owner, [node] { Domain::template destroyNode<Node>(node); });
+        return;
+      }
+    }
+    Domain::template destroyNode<Node>(node);
+  }
+
   void enqueueNode(Node* node) {
     while (true) {
       Node* tail = tail_.read();
-      Node* next = tail->next.load(std::memory_order_acquire);
+      Node* next = loadNext(tail);
       if (tail != tail_.read()) continue;  // tail moved under us
       if (next != nullptr) {
         // Tail is lagging; help swing it forward.
         tail_.compareAndSwap(tail, next);
         continue;
       }
-      Node* expected = nullptr;
-      if (tail->next.compare_exchange_strong(expected, node,
-                                             std::memory_order_seq_cst)) {
+      if (casNext(tail, nullptr, node)) {
         tail_.compareAndSwap(tail, node);
         return;
       }

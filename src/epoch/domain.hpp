@@ -112,6 +112,39 @@ class BasicGuard {
 using LocalGuard = BasicGuard<LocalEpochToken>;
 using DistGuard = BasicGuard<EpochToken>;
 
+/// RAII pin/unpin of an (attached, typically cached) guard around a scope.
+/// The AM-handler spelling of the guard protocol: progress threads wrap
+/// each handler body in a PinScope over their thread-cached guard, paying
+/// a pin/unpin per handler instead of a token registration per message.
+template <typename GuardT>
+class PinScope {
+ public:
+  explicit PinScope(GuardT& guard) : guard_(guard) { guard_.pin(); }
+  ~PinScope() { guard_.unpin(); }
+  PinScope(const PinScope&) = delete;
+  PinScope& operator=(const PinScope&) = delete;
+
+  GuardT& guard() noexcept { return guard_; }
+
+ private:
+  GuardT& guard_;
+};
+
+namespace detail {
+/// The calling thread's cached attached guard for `manager`: one token
+/// registration per (OS thread, domain), created lazily and reused across
+/// AM handlers. Entries are dropped by EpochManager::destroy()'s
+/// progress-thread broadcast (before the token pools die) and at thread
+/// exit. Intended for progress threads -- the guard is bound to the
+/// registering thread and locale like any EpochToken.
+DistGuard& threadCachedGuard(const EpochManager& manager);
+/// Drop every cache entry for the domain identified by `pid` on the
+/// calling thread (unregisters the tokens; the instances must still be
+/// alive). EpochManager::destroy() broadcasts this to every progress
+/// thread.
+void dropThreadCachedGuards(std::size_t pid);
+}  // namespace detail
+
 /// Shared-memory reclaim domain: plain C++ threads, heap nodes, no runtime
 /// required. Non-copyable; pass by reference, like the manager it wraps.
 class LocalDomain {
@@ -186,6 +219,13 @@ class DistDomain {
   Guard attach() const {
     return Guard(manager_.acquireToken(), /*pin_now=*/false);
   }
+
+  /// The calling thread's cached attached guard for this domain (one token
+  /// registration per (thread, domain), reused across AM handlers). Wrap
+  /// uses in a PinScope: `PinScope<DistGuard> pin(domain.threadGuard());`.
+  /// destroy() drops every progress thread's cache entry for this domain.
+  /// Progress threads only (checked): task threads must use pin()/attach().
+  Guard& threadGuard() const { return detail::threadCachedGuard(manager_); }
 
   bool tryReclaim() const { return manager_.tryReclaim(); }
   void clear() const { manager_.clear(); }

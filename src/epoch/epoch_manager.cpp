@@ -1,8 +1,105 @@
 #include "epoch/epoch_manager.hpp"
 
+#include <memory>
+#include <vector>
+
+#include "epoch/domain.hpp"
 #include "runtime/task.hpp"
 
 namespace pgasnb {
+
+// ---------------------------------------------------------------------------
+// Per-thread cached guards (progress-thread handler pins)
+// ---------------------------------------------------------------------------
+//
+// An AM handler that dereferences protected nodes (MsQueue::enqueueAsync's
+// append loop, DistStack::popAsync's pop loop) needs an epoch pin on the
+// progress thread. Registering a fresh token per message costs pool atomics
+// and allocated-list churn on the hot path; instead each thread keeps one
+// *attached* guard per domain and pins/unpins it around each handler --
+// Fraser-style cheap per-operation pinning restored for handlers.
+//
+// Lifetime: entries are keyed by (runtime generation, privatization id).
+// EpochManager::destroy() broadcasts dropThreadCachedGuards() through every
+// AM queue, so each progress thread unregisters its cached token while the
+// token pools are still alive. Entries that outlive their runtime (leaked
+// domains, teardown races) are *abandoned* -- the pool died with the arena,
+// so unregistering would be a use-after-free.
+
+namespace detail {
+
+namespace {
+
+struct CachedGuardEntry {
+  std::uint64_t generation = 0;
+  std::size_t pid = 0;
+  DistGuard guard;
+};
+
+struct GuardCache {
+  // unique_ptr entries: handed-out DistGuard& stay stable across later
+  // insertions/erasures (a handler can touch several domains).
+  std::vector<std::unique_ptr<CachedGuardEntry>> entries;
+
+  ~GuardCache() {
+    for (auto& entry : entries) {
+      if (!Runtime::active() ||
+          Runtime::get().generation() != entry->generation) {
+        entry->guard.token().abandon();
+      }
+      // Otherwise the DistGuard destructor unregisters normally (the
+      // domain is still alive on a live runtime).
+    }
+  }
+};
+
+GuardCache& guardCache() {
+  thread_local GuardCache cache;
+  return cache;
+}
+
+}  // namespace
+
+DistGuard& threadCachedGuard(const EpochManager& manager) {
+  // Progress threads only: destroy()'s cache-drop broadcast reaches exactly
+  // the progress threads, so an entry created on a task thread would
+  // outlive its domain and later alias a recycled privatization slot.
+  PGASNB_CHECK_MSG(taskContext().progress_thread,
+                   "threadGuard(): cached guards are progress-thread state; "
+                   "use domain.pin()/attach() from tasks");
+  auto& entries = guardCache().entries;
+  const std::uint64_t gen = Runtime::get().generation();
+  const std::size_t pid = manager.privatizationId();
+  // Sweep entries from dead runtimes while we're here (their token pools
+  // are gone -- abandon, never unregister).
+  for (auto it = entries.begin(); it != entries.end();) {
+    if ((*it)->generation != gen) {
+      (*it)->guard.token().abandon();
+      it = entries.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& entry : entries) {
+    if (entry->pid == pid && entry->guard.valid()) return entry->guard;
+  }
+  entries.push_back(std::make_unique<CachedGuardEntry>(CachedGuardEntry{
+      gen, pid, DistGuard(manager.acquireToken(), /*pin_now=*/false)}));
+  return entries.back()->guard;
+}
+
+void dropThreadCachedGuards(std::size_t pid) {
+  auto& entries = guardCache().entries;
+  for (auto it = entries.begin(); it != entries.end();) {
+    if ((*it)->pid == pid) {
+      it = entries.erase(it);  // DistGuard dtor unregisters the token
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // EpochManagerImpl
@@ -330,6 +427,22 @@ EpochManager EpochManager::create() {
 void EpochManager::destroy() {
   if (!valid()) return;
   clear();
+  // Drop every progress thread's cached guard for this domain *before* the
+  // per-locale instances (and their token pools) die. The broadcast must
+  // traverse the AM queues -- amProgressHandle, never amSync's local fast
+  // path -- because the thread_local cache lives on the progress thread,
+  // not on whichever task thread happens to run destroy().
+  {
+    const std::size_t pid = handle_.id();
+    const std::uint32_t n = Runtime::get().numLocales();
+    std::vector<comm::Handle<>> drops;
+    drops.reserve(n);
+    for (std::uint32_t l = 0; l < n; ++l) {
+      drops.push_back(comm::amProgressHandle(
+          l, [pid] { detail::dropThreadCachedGuards(pid); }));
+    }
+    comm::waitAll(drops);
+  }
   handle_.destroy();
   if (global_ != nullptr) {
     GlobalEpoch* global = global_;

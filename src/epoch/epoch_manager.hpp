@@ -252,6 +252,16 @@ class EpochToken {
     token_ = nullptr;
   }
 
+  /// Internal: forget the underlying token WITHOUT unregistering it. Used
+  /// by the progress-thread guard cache when the runtime (or the domain's
+  /// privatized instances) died before the caching thread: the token pool
+  /// the Token lives in is already gone, so unregistering would be a
+  /// use-after-free; the Token's memory went down with the arena.
+  void abandon() noexcept {
+    token_ = nullptr;
+    pending_remote_.clear();
+  }
+
  private:
   friend class EpochManager;
   EpochToken(Privatized<EpochManagerImpl> handle, Token* token)
@@ -321,6 +331,10 @@ class EpochManager {
   EpochManagerImpl* implOn(std::uint32_t locale) const {
     return handle_.instanceOn(locale);
   }
+
+  /// Stable per-domain identity (the privatization slot); keys the
+  /// per-thread cached-guard registry.
+  std::size_t privatizationId() const noexcept { return handle_.id(); }
 
  private:
   Privatized<EpochManagerImpl> handle_;

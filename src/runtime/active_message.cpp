@@ -19,6 +19,7 @@ ProgressThread::~ProgressThread() {
 void ProgressThread::run() {
   // The progress thread permanently impersonates its locale.
   taskContext().here = locale_id_;
+  taskContext().progress_thread = true;
   const LatencyModel& lat = Runtime::get().config().latency;
 
   AmRequest req;
@@ -39,8 +40,11 @@ void ProgressThread::run() {
     const std::uint64_t end = sim::now();
     busy_until_ = end;
     serviced_.fetch_add(1, std::memory_order_relaxed);
-    if (req.completion != nullptr) {
-      req.completion->store(end + 1, std::memory_order_release);
+    if (req.on_complete) {
+      // Resolves the waiting handle(s) and runs any continuations chained
+      // onto them; continuations execute on this thread but under their own
+      // sim::TimeScope, so this channel's clock is unaffected.
+      req.on_complete(end);
     }
     req = AmRequest{};  // drop closure state before blocking again
   }

@@ -28,9 +28,12 @@ struct AmRequest {
   std::vector<std::function<void()>> batch;
   std::uint64_t send_time = 0;  ///< sender's simulated clock at injection
   /// Completion channel for AMs with a waiter (amSync / comm::Handle): the
-  /// progress thread stores (end_sim_time + 1); 0 means "not done". Null
-  /// for fire-and-forget.
-  std::atomic<std::uint64_t>* completion = nullptr;
+  /// progress thread invokes it with the service end time (simulated ns)
+  /// after the handler -- and the whole batch, if any -- has run. The comm
+  /// layer uses it to resolve handles and run their continuations; a single
+  /// callback can resolve a whole group of handles at once (aggregated
+  /// ops). Empty for fire-and-forget.
+  std::function<void(std::uint64_t end_sim_time)> on_complete;
 };
 
 class AmQueue {

@@ -1,5 +1,6 @@
 #include "runtime/comm.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/backoff.hpp"
@@ -17,6 +18,8 @@ struct AtomicCounters {
   std::atomic<std::uint64_t> am_batched{0};
   std::atomic<std::uint64_t> am_fence{0};
   std::atomic<std::uint64_t> ops_aggregated{0};
+  std::atomic<std::uint64_t> handles_chained{0};
+  std::atomic<std::uint64_t> cq_drained{0};
   std::atomic<std::uint64_t> puts{0};
   std::atomic<std::uint64_t> gets{0};
   std::atomic<std::uint64_t> dcas_local{0};
@@ -89,32 +92,68 @@ inline U128 dexchangeHardware(U128* target, U128 desired) {
 template <typename T>
 Handle<T> completedHandle(std::shared_ptr<detail::HandleState<T>> state,
                           std::uint64_t join_time) {
-  state->done.store(join_time + 1, std::memory_order_release);
+  detail::completeCore(*state, join_time);
   return Handle<T>(std::move(state));
 }
 
-/// Ship `fn` as an AM whose completion is reported into `state`. The
-/// closure keeps the state alive until the progress thread has stored the
-/// completion time (it writes `req.completion` before dropping `req.fn`).
-/// Counter attribution is the caller's business (am_sync vs am_async).
+/// injectHandleAm + a typed Handle wrapper, for the comm-internal callers.
 template <typename T>
 Handle<T> injectAmHandle(std::uint32_t loc,
                          std::shared_ptr<detail::HandleState<T>> state,
                          std::function<void()> fn) {
-  Runtime& rt = Runtime::get();
-  const LatencyModel& lat = rt.config().latency;
-  state->wire_return_ns = lat.am_wire_ns;
-  AmRequest req;
-  req.fn = [state, fn = std::move(fn)] { fn(); };
-  req.send_time = sim::now();
-  req.completion = &state->done;
-  rt.locale(loc).amQueue().push(std::move(req));
-  // Sender-side injection cost of a one-way message.
-  sim::chargeModelOnly(lat.cpu_atomic_ns);
+  detail::injectHandleAm(loc, state, std::move(fn));
   return Handle<T>(std::move(state));
 }
 
 }  // namespace
+
+namespace detail {
+
+void completeCore(HandleCore& core, std::uint64_t end_time) {
+  std::vector<std::function<void(std::uint64_t)>> waiters;
+  {
+    std::lock_guard<std::mutex> g(core.waiters_lock);
+    core.done.store(end_time + 1, std::memory_order_release);
+    waiters.swap(core.waiters);
+  }
+  const std::uint64_t join = end_time + core.wire_return_ns;
+  for (auto& waiter : waiters) waiter(join);
+}
+
+void addCompletionWaiter(HandleCore& core,
+                         std::function<void(std::uint64_t)> waiter) {
+  {
+    std::lock_guard<std::mutex> g(core.waiters_lock);
+    if (core.done.load(std::memory_order_acquire) == 0) {
+      core.waiters.push_back(std::move(waiter));
+      return;
+    }
+  }
+  // Already complete: run inline on the registering thread.
+  waiter(core.done.load(std::memory_order_acquire) - 1 + core.wire_return_ns);
+}
+
+void injectHandleAm(std::uint32_t loc, std::shared_ptr<HandleCore> core,
+                    std::function<void()> fn) {
+  Runtime& rt = Runtime::get();
+  const LatencyModel& lat = rt.config().latency;
+  core->wire_return_ns = lat.am_wire_ns;
+  AmRequest req;
+  req.fn = std::move(fn);
+  req.send_time = sim::now();
+  // The callback owns the state: it stays alive until the progress thread
+  // has stored the completion time and run every chained continuation.
+  req.on_complete = [core](std::uint64_t end) { completeCore(*core, end); };
+  rt.locale(loc).amQueue().push(std::move(req));
+  // Sender-side injection cost of a one-way message.
+  sim::chargeModelOnly(lat.cpu_atomic_ns);
+}
+
+void noteAmAsync() noexcept { bump(g_counters.am_async); }
+void noteHandlesChained() noexcept { bump(g_counters.handles_chained); }
+void noteCqDrained() noexcept { bump(g_counters.cq_drained); }
+
+}  // namespace detail
 
 Handle<> readyHandle() {
   return completedHandle(std::make_shared<detail::HandleState<void>>(),
@@ -157,6 +196,12 @@ Handle<> amAsyncHandle(std::uint32_t loc, std::function<void()> fn) {
     fn();
     return readyHandle();
   }
+  bump(g_counters.am_async);
+  return injectAmHandle(loc, std::make_shared<detail::HandleState<void>>(),
+                        std::move(fn));
+}
+
+Handle<> amProgressHandle(std::uint32_t loc, std::function<void()> fn) {
   bump(g_counters.am_async);
   return injectAmHandle(loc, std::make_shared<detail::HandleState<void>>(),
                         std::move(fn));
@@ -407,7 +452,9 @@ void Aggregator::adoptRuntime() {
   if (runtime_generation_ != rt.generation()) {
     buckets_.assign(rt.numLocales(), {});
     total_pending_ = 0;
+    next_age_deadline_ = kNoDeadline;
     runtime_generation_ = rt.generation();
+    max_batch_age_ns_ = rt.config().aggregator_max_batch_age_ns;
     if (!configured_) {
       ops_per_batch_ = rt.config().aggregator_ops_per_batch;
     }
@@ -417,37 +464,92 @@ void Aggregator::adoptRuntime() {
 
 void Aggregator::enqueue(std::uint32_t loc, std::function<void()> op,
                          std::uint64_t op_weight) {
+  enqueueWithCore(loc, std::move(op), nullptr, op_weight);
+}
+
+Handle<> Aggregator::enqueueHandle(std::uint32_t loc, std::function<void()> op,
+                                   std::uint64_t op_weight) {
+  auto state = std::make_shared<detail::HandleState<void>>();
+  enqueueWithCore(loc, std::move(op), state, op_weight);
+  return Handle<>(std::move(state));
+}
+
+void Aggregator::enqueueWithCore(std::uint32_t loc, std::function<void()> op,
+                                 std::shared_ptr<detail::HandleCore> core,
+                                 std::uint64_t op_weight) {
   adoptRuntime();
   if (loc == Runtime::here()) {
     // Local ops never buffer: run in place (Chapel aggregators do the same).
     op();
+    if (core != nullptr) detail::completeCore(*core, sim::now());
     return;
   }
   PGASNB_CHECK_MSG(loc < buckets_.size(), "aggregator: locale out of range");
   g_counters.ops_aggregated.fetch_add(op_weight, std::memory_order_relaxed);
-  buckets_[loc].push_back(std::move(op));
+  Bucket& bucket = buckets_[loc];
+  if (bucket.ops.empty()) {
+    bucket.first_op_time = sim::now();
+    if (max_batch_age_ns_ != 0) {
+      next_age_deadline_ =
+          std::min(next_age_deadline_, bucket.first_op_time + max_batch_age_ns_);
+    }
+  }
+  bucket.ops.push_back(std::move(op));
+  if (core != nullptr) {
+    core->wire_return_ns = Runtime::get().config().latency.am_wire_ns;
+    bucket.cores.push_back(std::move(core));
+  }
   ++total_pending_;
-  if (buckets_[loc].size() >= ops_per_batch_) flush(loc);
+  if (bucket.ops.size() >= ops_per_batch_) flush(loc);
+  // O(1) age check per enqueue: the full bucket sweep only runs once the
+  // earliest deadline across all buckets has actually passed.
+  if (sim::now() >= next_age_deadline_) flushAged();
 }
 
 void Aggregator::flush(std::uint32_t loc) {
-  if (loc >= buckets_.size() || buckets_[loc].empty()) return;
+  if (loc >= buckets_.size() || buckets_[loc].ops.empty()) return;
   Runtime& rt = Runtime::get();
   PGASNB_CHECK_MSG(rt.generation() == runtime_generation_,
                    "aggregator flush across runtime instances");
-  total_pending_ -= buckets_[loc].size();
+  Bucket& bucket = buckets_[loc];
+  total_pending_ -= bucket.ops.size();
   bump(g_counters.am_batched);
   AmRequest req;
-  req.batch = std::move(buckets_[loc]);
+  req.batch = std::move(bucket.ops);
   req.send_time = sim::now();
+  if (!bucket.cores.empty()) {
+    // One completion callback resolves every handle riding this batch at
+    // the batch's service end time -- the whole group at once.
+    req.on_complete = [cores = std::move(bucket.cores)](std::uint64_t end) {
+      for (const auto& core : cores) detail::completeCore(*core, end);
+    };
+  }
   rt.locale(loc).amQueue().push(std::move(req));
-  buckets_[loc].clear();  // moved-from: back to a known-empty state
+  bucket.ops.clear();    // moved-from: back to a known-empty state
+  bucket.cores.clear();
   // One injection cost per batch -- this is the whole point.
   sim::chargeModelOnly(rt.config().latency.cpu_atomic_ns);
 }
 
 void Aggregator::flushAll() {
   for (std::uint32_t loc = 0; loc < buckets_.size(); ++loc) flush(loc);
+}
+
+void Aggregator::flushAged() {
+  if (max_batch_age_ns_ == 0) return;
+  const std::uint64_t now = sim::now();
+  std::uint64_t next = kNoDeadline;
+  for (std::uint32_t loc = 0; loc < buckets_.size(); ++loc) {
+    const Bucket& bucket = buckets_[loc];
+    if (bucket.ops.empty()) continue;
+    const std::uint64_t deadline = bucket.first_op_time + max_batch_age_ns_;
+    if (now >= deadline) {
+      flush(loc);
+    } else {
+      next = std::min(next, deadline);
+    }
+  }
+  next_age_deadline_ = next;
 }
 
 Aggregator& taskAggregator() {
@@ -465,6 +567,9 @@ Counters counters() noexcept {
   snapshot.am_fence = g_counters.am_fence.load(std::memory_order_relaxed);
   snapshot.ops_aggregated =
       g_counters.ops_aggregated.load(std::memory_order_relaxed);
+  snapshot.handles_chained =
+      g_counters.handles_chained.load(std::memory_order_relaxed);
+  snapshot.cq_drained = g_counters.cq_drained.load(std::memory_order_relaxed);
   snapshot.puts = g_counters.puts.load(std::memory_order_relaxed);
   snapshot.gets = g_counters.gets.load(std::memory_order_relaxed);
   snapshot.dcas_local = g_counters.dcas_local.load(std::memory_order_relaxed);
@@ -480,6 +585,8 @@ void resetCounters() noexcept {
   g_counters.am_batched.store(0, std::memory_order_relaxed);
   g_counters.am_fence.store(0, std::memory_order_relaxed);
   g_counters.ops_aggregated.store(0, std::memory_order_relaxed);
+  g_counters.handles_chained.store(0, std::memory_order_relaxed);
+  g_counters.cq_drained.store(0, std::memory_order_relaxed);
   g_counters.puts.store(0, std::memory_order_relaxed);
   g_counters.gets.store(0, std::memory_order_relaxed);
   g_counters.dcas_local.store(0, std::memory_order_relaxed);

@@ -36,9 +36,16 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "runtime/runtime.hpp"
@@ -63,15 +70,26 @@ namespace comm {
 
 namespace detail {
 
-/// Shared completion state. `done` holds (join-ready simulated time + 1);
+/// Shared completion state. `done` holds (completion simulated time + 1);
 /// 0 means the operation is still pending. The producer (progress thread or
 /// inline fast path) stores `done` with release order after writing `value`,
 /// so a waiter's acquire load of `done` publishes the value too.
+///
+/// Beyond the spin-wait channel, a core carries *continuation waiters*:
+/// closures registered by combinators (`then`, `whenAll`) and by
+/// CompletionQueues. The completing thread runs them right after storing
+/// `done`, passing the join-ready time (completion + return wire) -- this
+/// is what lets progress threads *push* completions instead of tasks
+/// polling.
 struct HandleCore {
   std::atomic<std::uint64_t> done{0};
   /// Return-path latency folded in at wait() (am_wire_ns for remote AMs,
   /// 0 for local or RDMA completions whose stored time is already final).
   std::uint64_t wire_return_ns = 0;
+  std::mutex waiters_lock;
+  /// Guarded by waiters_lock until completion; invoked with the join-ready
+  /// simulated time. A waiter added after completion runs inline.
+  std::vector<std::function<void(std::uint64_t)>> waiters;
 };
 
 template <typename T>
@@ -81,12 +99,88 @@ struct HandleState : HandleCore {
 template <>
 struct HandleState<void> : HandleCore {};
 
+/// Mark a core complete at `end_time` and run (then clear) its waiters.
+/// Every completion path funnels through here.
+void completeCore(HandleCore& core, std::uint64_t end_time);
+
+/// Attach `waiter` to run at completion (inline if already complete). The
+/// waiter receives the join-ready time: completion + return wire.
+void addCompletionWaiter(HandleCore& core,
+                         std::function<void(std::uint64_t)> waiter);
+
+/// Ship `fn` as an AM to `loc` whose completion resolves `core` (shared
+/// ownership keeps the state alive until the progress thread has run the
+/// waiters). Counter attribution is the caller's business.
+void injectHandleAm(std::uint32_t loc, std::shared_ptr<HandleCore> core,
+                    std::function<void()> fn);
+
+// Counter hooks for the header-only combinators (the counters themselves
+// live in comm.cpp).
+void noteAmAsync() noexcept;
+void noteHandlesChained() noexcept;
+void noteCqDrained() noexcept;
+
+}  // namespace detail
+
+template <typename T = void>
+class Handle;
+
+namespace detail {
+
+/// Result type of a `then` continuation: invoked with the parent's value
+/// (or with nothing, for Handle<void> parents).
+template <typename F, typename T>
+struct then_result {
+  using type = std::invoke_result_t<F&, const T&>;
+};
+template <typename F>
+struct then_result<F, void> {
+  using type = std::invoke_result_t<F&>;
+};
+
+/// Detects continuations that return a Handle<U> (monadic chaining: the
+/// derived handle resolves when the *inner* operation does).
+template <typename R>
+struct handle_unwrap {
+  static constexpr bool is_handle = false;
+  using type = R;
+};
+template <typename U>
+struct handle_unwrap<Handle<U>> {
+  static constexpr bool is_handle = true;
+  using type = U;
+};
+
+template <typename T, typename F>
+decltype(auto) invokeContinuation(F& fn, HandleState<T>& parent) {
+  if constexpr (std::is_void_v<T>) {
+    (void)parent;
+    return fn();
+  } else {
+    return fn(parent.value);
+  }
+}
+
+/// Join bookkeeping for whenAll: last completer closes the group at the
+/// max join time seen across the set.
+struct WhenAllCtl {
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<std::uint64_t> max_join{0};
+};
+
 }  // namespace detail
 
 /// A lightweight completion future for a non-blocking communication op.
 /// Copyable (shared state); dropping every copy without waiting is legal --
 /// the operation still completes, its result is simply discarded.
-template <typename T = void>
+///
+/// Handles compose: `then(fn)` chains a continuation (run by whichever
+/// thread completes the operation, on the chain's simulated timeline);
+/// `whenAll`/`waitAll` join sets; a CompletionQueue turns completions into
+/// a drainable stream. A handle produced by a combinator completes at its
+/// *join-ready* time (return wire already folded), so waiting on it never
+/// double-charges the wire.
+template <typename T>
 class Handle {
  public:
   Handle() = default;  // invalid
@@ -126,6 +220,78 @@ class Handle {
     return state_->value;
   }
 
+  /// Chain a continuation: `fn` runs exactly once, when this operation
+  /// completes, invoked with the result (`const T&`; nothing for void
+  /// handles). Returns a handle for the continuation's own completion.
+  ///
+  /// Sim-clock semantics: the continuation executes on the thread that
+  /// completed the parent (a progress thread for remote AMs; the caller
+  /// for already-complete handles) under a sim::TimeScope pinned to the
+  /// parent's join-ready time, so everything it charges -- and every async
+  /// op it issues -- extends the *chain's* timeline, not the host
+  /// thread's. If `fn` returns a `Handle<U>` the chain flattens: the
+  /// derived handle resolves when the inner operation does, so each hop of
+  /// an async chain pays its own wire + service charge.
+  ///
+  /// Continuations must not block (they may run on a progress thread);
+  /// issue async ops and chain further instead.
+  template <typename F>
+  auto then(F&& fn) {
+    PGASNB_CHECK_MSG(valid(), "then() on an invalid comm::Handle");
+    using R = typename detail::then_result<std::decay_t<F>, T>::type;
+    detail::noteHandlesChained();
+    if constexpr (detail::handle_unwrap<R>::is_handle) {
+      using U = typename detail::handle_unwrap<R>::type;
+      auto derived = std::make_shared<detail::HandleState<U>>();
+      detail::addCompletionWaiter(
+          *state_, [parent = state_, derived,
+                    fn = std::decay_t<F>(std::forward<F>(fn))](
+                       std::uint64_t join) mutable {
+            sim::TimeScope at(join);
+            R inner = detail::invokeContinuation<T>(fn, *parent);
+            PGASNB_CHECK_MSG(inner.valid(),
+                             "then(): continuation returned an invalid Handle");
+            auto inner_state = inner.state();
+            detail::addCompletionWaiter(
+                *inner_state,
+                [derived, inner_state](std::uint64_t inner_join) {
+                  if constexpr (!std::is_void_v<U>) {
+                    derived->value = inner_state->value;
+                  }
+                  detail::completeCore(*derived, inner_join);
+                });
+          });
+      return Handle<U>(std::move(derived));
+    } else if constexpr (std::is_void_v<R>) {
+      auto derived = std::make_shared<detail::HandleState<void>>();
+      detail::addCompletionWaiter(
+          *state_, [parent = state_, derived,
+                    fn = std::decay_t<F>(std::forward<F>(fn))](
+                       std::uint64_t join) mutable {
+            sim::TimeScope at(join);
+            detail::invokeContinuation<T>(fn, *parent);
+            detail::completeCore(*derived, sim::now());
+          });
+      return Handle<>(std::move(derived));
+    } else {
+      auto derived = std::make_shared<detail::HandleState<R>>();
+      detail::addCompletionWaiter(
+          *state_, [parent = state_, derived,
+                    fn = std::decay_t<F>(std::forward<F>(fn))](
+                       std::uint64_t join) mutable {
+            sim::TimeScope at(join);
+            derived->value = detail::invokeContinuation<T>(fn, *parent);
+            detail::completeCore(*derived, sim::now());
+          });
+      return Handle<R>(std::move(derived));
+    }
+  }
+
+  /// Internal: the shared completion state (combinators, CompletionQueue).
+  const std::shared_ptr<detail::HandleState<T>>& state() const noexcept {
+    return state_;
+  }
+
  private:
   std::shared_ptr<detail::HandleState<T>> state_;
 };
@@ -133,6 +299,151 @@ class Handle {
 /// An already-completed handle joining at the current simulated time (used
 /// by async entry points whose fast path ran inline).
 Handle<> readyHandle();
+
+/// An already-completed value handle joining at the current simulated time.
+template <typename R>
+Handle<R> readyValueHandle(R value) {
+  auto state = std::make_shared<detail::HandleState<R>>();
+  state->value = std::move(value);
+  detail::completeCore(*state, sim::now());
+  return Handle<R>(std::move(state));
+}
+
+// --- joining sets of handles ---------------------------------------------
+
+/// Wait for every handle; the caller's clock ends at the max join time of
+/// the set (each wait() is a max-fold, so order does not matter).
+template <typename T>
+void waitAll(std::span<Handle<T>> handles) {
+  for (Handle<T>& h : handles) h.wait();
+}
+template <typename T>
+void waitAll(std::vector<Handle<T>>& handles) {
+  waitAll(std::span<Handle<T>>(handles));
+}
+
+/// A handle that completes when *all* of `handles` have, at the max
+/// join-ready time of the set. Non-blocking; the set may be empty (the
+/// result is then already complete at the current simulated time).
+template <typename T>
+Handle<> whenAll(std::span<Handle<T>> handles) {
+  detail::noteHandlesChained();
+  auto group = std::make_shared<detail::HandleState<void>>();
+  if (handles.empty()) {
+    detail::completeCore(*group, sim::now());
+    return Handle<>(std::move(group));
+  }
+  auto ctl = std::make_shared<detail::WhenAllCtl>();
+  ctl->remaining.store(handles.size(), std::memory_order_relaxed);
+  for (Handle<T>& h : handles) {
+    PGASNB_CHECK_MSG(h.valid(), "whenAll() over an invalid comm::Handle");
+    detail::addCompletionWaiter(
+        *h.state(), [group, ctl](std::uint64_t join) {
+          std::uint64_t seen = ctl->max_join.load(std::memory_order_relaxed);
+          while (seen < join && !ctl->max_join.compare_exchange_weak(
+                                    seen, join, std::memory_order_acq_rel)) {
+          }
+          if (ctl->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            detail::completeCore(
+                *group, ctl->max_join.load(std::memory_order_acquire));
+          }
+        });
+  }
+  return Handle<>(std::move(group));
+}
+template <typename T>
+Handle<> whenAll(std::vector<Handle<T>>& handles) {
+  return whenAll(std::span<Handle<T>>(handles));
+}
+
+// --- completion queues -----------------------------------------------------
+
+/// A per-task drain point for async completions: `watch` registers a handle
+/// under a caller-chosen tag; whichever thread completes the operation
+/// (typically a progress thread) *pushes* the completion in, and the task
+/// pops with `next()` -- blocking idle instead of spin-polling a window of
+/// handles, and folding each completion's join time into its clock as it
+/// drains. Completions arrive in completion order, which for a single
+/// destination is the progress thread's FIFO (busy_until) service order.
+///
+/// One consumer task per queue; producers (progress threads) may be many.
+/// Watched handles keep the queue's shared state alive, so dropping the
+/// queue with watches outstanding is safe -- the late completions are
+/// simply discarded.
+///
+/// NOTE: an op buffered in an Aggregator (enqueueHandle/popAsyncAggregated)
+/// completes only after its batch ships; flush before blocking in next().
+class CompletionQueue {
+ public:
+  CompletionQueue() : state_(std::make_shared<State>()) {}
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Register `h`; its completion will surface from next() as `tag`.
+  template <typename T>
+  void watch(const Handle<T>& h, std::uint64_t tag = 0) {
+    PGASNB_CHECK_MSG(h.valid(), "watch() on an invalid comm::Handle");
+    {
+      std::lock_guard<std::mutex> g(state_->lock);
+      ++state_->outstanding;
+    }
+    detail::addCompletionWaiter(
+        *h.state(), [s = state_, tag](std::uint64_t join) {
+          {
+            std::lock_guard<std::mutex> g(s->lock);
+            s->ready.push_back({tag, join});
+          }
+          s->cv.notify_all();
+        });
+  }
+
+  /// Pop the next completion (blocking while any watch is outstanding),
+  /// folding its join time into the caller's simulated clock. Returns the
+  /// completion's tag, or nullopt once nothing is outstanding.
+  std::optional<std::uint64_t> next() {
+    std::unique_lock<std::mutex> g(state_->lock);
+    state_->cv.wait(g, [&] {
+      return !state_->ready.empty() || state_->outstanding == 0;
+    });
+    if (state_->ready.empty()) return std::nullopt;
+    const auto [tag, join] = state_->ready.front();
+    state_->ready.pop_front();
+    --state_->outstanding;
+    g.unlock();
+    detail::noteCqDrained();
+    sim::joinAtLeast(join);
+    return tag;
+  }
+
+  /// Non-blocking flavor of next(); false when nothing has completed yet.
+  bool tryNext(std::uint64_t& tag_out) {
+    std::unique_lock<std::mutex> g(state_->lock);
+    if (state_->ready.empty()) return false;
+    const auto [tag, join] = state_->ready.front();
+    state_->ready.pop_front();
+    --state_->outstanding;
+    g.unlock();
+    detail::noteCqDrained();
+    sim::joinAtLeast(join);
+    tag_out = tag;
+    return true;
+  }
+
+  /// Watched-but-not-yet-drained completions.
+  std::size_t outstanding() const {
+    std::lock_guard<std::mutex> g(state_->lock);
+    return state_->outstanding;
+  }
+
+ private:
+  struct State {
+    mutable std::mutex lock;
+    std::condition_variable cv;
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> ready;  // {tag, join}
+    std::size_t outstanding = 0;
+  };
+  std::shared_ptr<State> state_;
+};
 
 // --- remote execution -------------------------------------------------
 
@@ -147,6 +458,35 @@ void amAsync(std::uint32_t loc, std::function<void()> fn);
 /// Non-blocking remote execution: ship `fn` to `loc`'s progress thread and
 /// return immediately with a completion handle. `amSync` is this + wait().
 Handle<> amAsyncHandle(std::uint32_t loc, std::function<void()> fn);
+
+/// Non-blocking remote execution with a result: run `fn` on `loc`'s
+/// progress thread; the handle resolves to `fn`'s return value. Local
+/// targets run inline (the handle is immediately ready). This is the
+/// building block for operation-shipped data-structure ops that return
+/// values (DistStack::popAsync, MsQueue::dequeueAsync).
+template <typename R, typename F>
+Handle<R> amAsyncValue(std::uint32_t loc, F&& fn) {
+  static_assert(!std::is_void_v<R>, "use amAsyncHandle for void results");
+  auto state = std::make_shared<detail::HandleState<R>>();
+  if (loc == Runtime::here()) {
+    sim::charge(Runtime::get().config().latency.cpu_atomic_ns);
+    state->value = fn();
+    detail::completeCore(*state, sim::now());
+    return Handle<R>(std::move(state));
+  }
+  detail::noteAmAsync();
+  auto* raw = state.get();
+  detail::injectHandleAm(
+      loc, state,
+      [raw, fn = std::forward<F>(fn)]() mutable { raw->value = fn(); });
+  return Handle<R>(std::move(state));
+}
+
+/// Like amAsyncHandle, but ALWAYS traverses `loc`'s AM queue -- even for
+/// the caller's own locale -- so the handler is guaranteed to execute on
+/// the *progress thread* (for thread-affine state such as the epoch
+/// layer's cached handler guards).
+Handle<> amProgressHandle(std::uint32_t loc, std::function<void()> fn);
 
 /// Drain every locale's AM queue, *including the caller's own*: a no-op
 /// with a completion channel is pushed through each queue and waited for,
@@ -230,9 +570,13 @@ Handle<> getAsync(void* dst, std::uint32_t src_locale, const void* src,
 /// target. Per-destination FIFO order is preserved; cross-destination order
 /// is not. Not thread-safe -- use one per task (see taskAggregator()).
 ///
-/// Buffered ops are shipped when a destination reaches `ops_per_batch`, on
-/// flush()/flushAll(), on destruction, and -- via the epoch layer -- when a
-/// guard unpins. Ops destined for the calling locale run inline.
+/// Buffered ops are shipped when a destination reaches `ops_per_batch`,
+/// when the oldest buffered op for a destination exceeds
+/// RuntimeConfig::aggregator_max_batch_age_ns in simulated time (checked
+/// at each enqueue -- an under-filled bucket no longer waits for unpin),
+/// on flush()/flushAll()/flushAged(), on destruction, and -- via the epoch
+/// layer -- when a guard unpins. Ops destined for the calling locale run
+/// inline.
 class Aggregator {
  public:
   /// `ops_per_batch` == 0 means "adopt RuntimeConfig::aggregator_ops_per_batch".
@@ -249,28 +593,65 @@ class Aggregator {
   void enqueue(std::uint32_t loc, std::function<void()> op,
                std::uint64_t op_weight = 1);
 
+  /// Buffer `op` and get a completion handle: it resolves when the batched
+  /// AM carrying the op has been serviced. All handles riding one batch
+  /// resolve *together*, at the batch's completion time -- one progress-
+  /// thread push resolves the whole group (drain them via a
+  /// CompletionQueue or whenAll). CAUTION: a buffered op only ships at
+  /// batch-full / age / flush; waiting on the handle of an unshipped op
+  /// blocks forever -- flush the window before joining it.
+  Handle<> enqueueHandle(std::uint32_t loc, std::function<void()> op,
+                         std::uint64_t op_weight = 1);
+
+  /// Internal flavor of enqueueHandle for value-returning ops: `core` is
+  /// completed when the op's batch is serviced (the op closure itself is
+  /// responsible for writing the value before then).
+  void enqueueWithCore(std::uint32_t loc, std::function<void()> op,
+                       std::shared_ptr<detail::HandleCore> core,
+                       std::uint64_t op_weight = 1);
+
   /// Ship the pending batch for one destination / for all destinations.
   void flush(std::uint32_t loc);
   void flushAll();
 
+  /// Ship every bucket whose oldest buffered op is older than the
+  /// configured max batch age (no-op when the knob is 0). Called
+  /// automatically on enqueue; exposed for drain loops that go idle.
+  void flushAged();
+
   /// Buffered (not yet shipped) closures, total / per destination.
   std::size_t pending() const noexcept { return total_pending_; }
   std::size_t pendingFor(std::uint32_t loc) const noexcept {
-    return loc < buckets_.size() ? buckets_[loc].size() : 0;
+    return loc < buckets_.size() ? buckets_[loc].ops.size() : 0;
   }
 
   std::size_t opsPerBatch() const noexcept { return ops_per_batch_; }
 
  private:
+  struct Bucket {
+    std::vector<std::function<void()>> ops;
+    /// Handle cores riding this batch (resolved together at batch end);
+    /// parallel to a *subset* of ops -- fire-and-forget ops carry none.
+    std::vector<std::shared_ptr<detail::HandleCore>> cores;
+    /// Simulated time the oldest currently-buffered op was enqueued.
+    std::uint64_t first_op_time = 0;
+  };
+
   /// Bind to the active runtime; discards stale buffers from a previous
   /// runtime generation (their closures reference dead objects).
   void adoptRuntime();
 
+  static constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+
   std::size_t ops_per_batch_;
   bool configured_;
+  std::uint64_t max_batch_age_ns_ = 0;
+  /// Earliest (first_op_time + max age) across non-empty buckets; enqueues
+  /// only pay the full aged-bucket sweep once this has passed.
+  std::uint64_t next_age_deadline_ = kNoDeadline;
   std::uint64_t runtime_generation_ = 0;
   std::size_t total_pending_ = 0;
-  std::vector<std::vector<std::function<void()>>> buckets_;
+  std::vector<Bucket> buckets_;
 };
 
 /// The calling task's aggregator (thread-local). The epoch layer drains it
@@ -287,6 +668,8 @@ struct Counters {
   std::uint64_t am_batched = 0;      ///< batched AMs shipped by Aggregators
   std::uint64_t am_fence = 0;        ///< quiesceAmQueues drain fences
   std::uint64_t ops_aggregated = 0;  ///< logical ops routed through Aggregators
+  std::uint64_t handles_chained = 0; ///< combinator handles (then/whenAll)
+  std::uint64_t cq_drained = 0;      ///< completions popped from CompletionQueues
   std::uint64_t puts = 0;
   std::uint64_t gets = 0;
   std::uint64_t dcas_local = 0;

@@ -88,6 +88,9 @@ RuntimeConfig RuntimeConfig::fromEnv() {
     cfg.aggregator_ops_per_batch =
         static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
   }
+  if (const char* v = envOrNull("PGASNB_AGG_MAX_BATCH_AGE")) {
+    cfg.aggregator_max_batch_age_ns = std::strtoull(v, nullptr, 0);
+  }
   return cfg;
 }
 

@@ -74,6 +74,12 @@ struct RuntimeConfig {
   /// AM is injected (0 is treated as 1).
   std::uint32_t aggregator_ops_per_batch = 64;
 
+  /// comm::Aggregator adaptive flush: an under-filled bucket ships once its
+  /// oldest buffered op is this many *simulated* nanoseconds old (checked
+  /// at each enqueue and on flushAged()), instead of waiting for
+  /// batch-full/unpin. 0 disables age-based flushing.
+  std::uint64_t aggregator_max_batch_age_ns = 100'000;
+
   LatencyModel latency{};
 
   /// When true, communication costs are also *physically* injected as
@@ -86,7 +92,8 @@ struct RuntimeConfig {
 
   /// Reads PGASNB_NUM_LOCALES, PGASNB_COMM_MODE, PGASNB_WORKERS,
   /// PGASNB_INJECT_DELAYS, PGASNB_DELAY_SCALE, PGASNB_REMOTE_RETIRE,
-  /// PGASNB_RETIRE_BATCH, PGASNB_AGG_OPS_PER_BATCH on top of the defaults.
+  /// PGASNB_RETIRE_BATCH, PGASNB_AGG_OPS_PER_BATCH,
+  /// PGASNB_AGG_MAX_BATCH_AGE on top of the defaults.
   static RuntimeConfig fromEnv();
 
   std::string describe() const;

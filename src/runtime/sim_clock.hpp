@@ -17,6 +17,10 @@ namespace pgasnb {
 struct TaskContext {
   std::uint32_t here = 0;
   std::uint64_t sim_now = 0;
+  /// True only on a locale's progress thread (set once at thread start).
+  /// Thread-affine machinery -- the epoch layer's cached handler guards --
+  /// asserts on this so misuse from task threads fails loudly.
+  bool progress_thread = false;
 };
 
 TaskContext& taskContext() noexcept;
@@ -39,6 +43,22 @@ void charge(std::uint64_t ns);
 /// Charge simulated time only, never a physical delay (for costs that are
 /// physically realized some other way, e.g. waiting on a progress thread).
 void chargeModelOnly(std::uint64_t ns) noexcept;
+
+/// RAII: run the calling thread at simulated time `ns`, restoring the
+/// previous clock on destruction. Used to execute handle continuations on
+/// whatever thread completed the operation (typically a progress thread)
+/// at the *chain's* timeline without disturbing the host thread's own
+/// accounting (e.g. the AM channel's busy_until).
+class TimeScope {
+ public:
+  explicit TimeScope(std::uint64_t ns) noexcept;
+  ~TimeScope();
+  TimeScope(const TimeScope&) = delete;
+  TimeScope& operator=(const TimeScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
 
 }  // namespace sim
 }  // namespace pgasnb

@@ -1,7 +1,10 @@
-// The asynchronous communication surface: completion handles, the
+// The asynchronous communication surface: completion handles and their
+// combinators (then-chaining, whenAll/waitAll, CompletionQueue drain), the
 // ProgressThread's FIFO busy_until model, the per-task Aggregator (flush
-// ordering, threshold flush, counters), and the aggregated cross-locale
-// retire path including flush-on-guard-unpin.
+// ordering, threshold/age flush, handle groups, counters), the aggregated
+// cross-locale retire path including flush-on-guard-unpin, and the
+// operation-shipped async data-structure ops (popAsync/dequeueAsync under
+// the progress-thread guard cache).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -122,6 +125,125 @@ TEST_F(CommAsyncTest, PutGetAsyncMoveBytesAndResolve) {
   onLocale(1, [remote] { gdelete(remote); });
 }
 
+// --- handle combinators -----------------------------------------------------
+
+TEST_F(CommAsyncTest, ThenTransformsTheValueOnTheChainTimeline) {
+  startRuntime(2);
+  auto* a = gnewOn<std::atomic<std::uint64_t>>(1, 10u);
+  sim::setNow(0);
+  auto h = comm::atomicFetchAddAsync(*a, 5);
+  auto chained = h.then([](const std::uint64_t& v) { return v * 2; });
+  EXPECT_EQ(chained.value(), 20u);
+  const LatencyModel& lat = runtime_->config().latency;
+  // The continuation runs at the parent's join-ready time (completion +
+  // return wire) and charges nothing itself, so the chained handle
+  // completes exactly there.
+  EXPECT_EQ(chained.completionTime(), h.completionTime() + lat.am_wire_ns);
+  EXPECT_EQ(comm::counters().handles_chained, 1u);
+  onLocale(1, [a] { gdelete(a); });
+}
+
+TEST_F(CommAsyncTest, ThenChainsChargeWirePlusServicePerHop) {
+  startRuntime(3);
+  sim::setNow(0);
+  // Two remote hops: locale 1, then (from its progress thread) locale 2.
+  auto chained = comm::amAsyncHandle(1, [] {}).then([] {
+    return comm::amAsyncHandle(2, [] {});
+  });
+  chained.wait();
+  const LatencyModel& lat = runtime_->config().latency;
+  const std::uint64_t w = lat.am_wire_ns;
+  const std::uint64_t s = lat.am_service_ns;
+  // Hop 1 completes at w+s on locale 1 and joins at 2w+s -- the point the
+  // continuation launches from. Hop 2 then pays its own wire+service:
+  // completes at 3w+2s, joins at 4w+2s. The flattened handle completes at
+  // the chain's join-ready time.
+  EXPECT_EQ(chained.completionTime(), 4 * w + 2 * s);
+  EXPECT_GE(sim::now(), 4 * w + 2 * s);
+  EXPECT_EQ(comm::counters().handles_chained, 1u);
+}
+
+TEST_F(CommAsyncTest, ThenOnAReadyHandleRunsInlineWithoutAdvancingTheCaller) {
+  startRuntime(2);
+  sim::setNow(0);
+  auto ready = comm::readyHandle();
+  const std::uint64_t before = sim::now();
+  int ran = 0;
+  auto chained = ready.then([&ran] { ran = 1; });
+  EXPECT_EQ(ran, 1) << "parent already complete: continuation runs inline";
+  EXPECT_TRUE(chained.ready());
+  EXPECT_EQ(sim::now(), before)
+      << "then() is non-blocking: the caller's clock must not move";
+}
+
+TEST_F(CommAsyncTest, WhenAllJoinsAtTheMaxCompletionOfTheSet) {
+  startRuntime(3);
+  sim::setNow(0);
+  std::vector<comm::Handle<>> hs;
+  hs.push_back(comm::amAsyncHandle(1, [] {}));
+  hs.push_back(comm::amAsyncHandle(1, [] {}));
+  hs.push_back(comm::amAsyncHandle(2, [] {}));
+  auto group = comm::whenAll(hs);
+  group.wait();
+  const LatencyModel& lat = runtime_->config().latency;
+  const std::uint64_t w = lat.am_wire_ns;
+  const std::uint64_t s = lat.am_service_ns;
+  // Locale 1 services its two messages FIFO (joins ~2w+s and 2w+2s);
+  // locale 2's lone message joins at ~2w+s. The group closes at the max.
+  EXPECT_EQ(group.completionTime(), 2 * w + 2 * s);
+  EXPECT_GE(sim::now(), 2 * w + 2 * s);
+  for (auto& h : hs) EXPECT_TRUE(h.ready());
+}
+
+TEST_F(CommAsyncTest, WaitAllFoldsEveryJoinIntoTheCaller) {
+  startRuntime(2);
+  sim::setNow(0);
+  std::vector<comm::Handle<>> hs;
+  for (int i = 0; i < 4; ++i) hs.push_back(comm::amAsyncHandle(1, [] {}));
+  comm::waitAll(hs);
+  const LatencyModel& lat = runtime_->config().latency;
+  // FIFO service: the last of the four joins at 2*wire + 4*service.
+  EXPECT_GE(sim::now(), 2 * lat.am_wire_ns + 4 * lat.am_service_ns);
+  for (auto& h : hs) EXPECT_TRUE(h.ready());
+}
+
+// --- completion queues ------------------------------------------------------
+
+TEST_F(CommAsyncTest, CompletionQueueDrainsInFifoCompletionOrder) {
+  startRuntime(2);
+  sim::setNow(0);
+  comm::CompletionQueue cq;
+  auto h1 = comm::amAsyncHandle(1, [] {});
+  auto h2 = comm::amAsyncHandle(1, [] {});
+  cq.watch(h1, 7);
+  cq.watch(h2, 9);
+  EXPECT_EQ(cq.outstanding(), 2u);
+  const LatencyModel& lat = runtime_->config().latency;
+  auto first = cq.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 7u) << "FIFO busy_until: the first injection completes "
+                           "first and is pushed first";
+  EXPECT_GE(sim::now(), h1.completionTime() + lat.am_wire_ns);
+  auto second = cq.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 9u);
+  EXPECT_GE(sim::now(), h2.completionTime() + lat.am_wire_ns);
+  EXPECT_FALSE(cq.next().has_value()) << "drained: nothing outstanding";
+  EXPECT_EQ(comm::counters().cq_drained, 2u);
+}
+
+TEST_F(CommAsyncTest, CompletionQueueWatchAfterCompletionStillDelivers) {
+  startRuntime(2);
+  auto h = comm::amAsyncHandle(1, [] {});
+  h.wait();  // already complete before watch
+  comm::CompletionQueue cq;
+  cq.watch(h, 42);
+  std::uint64_t tag = 0;
+  EXPECT_TRUE(cq.tryNext(tag));
+  EXPECT_EQ(tag, 42u);
+  EXPECT_FALSE(cq.tryNext(tag));
+}
+
 // --- aggregator -------------------------------------------------------------
 
 TEST_F(CommAsyncTest, BatchedAmPaysOneLatencyPlusPerOpCpu) {
@@ -192,6 +314,71 @@ TEST_F(CommAsyncTest, AggregatorRunsLocalOpsInline) {
   EXPECT_EQ(ran, 1);
   EXPECT_EQ(agg.pending(), 0u);
   EXPECT_EQ(comm::counters().am_batched, 0u);
+}
+
+TEST_F(CommAsyncTest, AggregatedHandleGroupResolvesTogether) {
+  startRuntime(2);
+  sim::setNow(0);
+  comm::Aggregator agg(/*ops_per_batch=*/8);
+  std::atomic<int> ran{0};
+  std::vector<comm::Handle<>> hs;
+  comm::CompletionQueue cq;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    hs.push_back(agg.enqueueHandle(1, [&ran] { ran.fetch_add(1); }));
+    cq.watch(hs.back(), i);
+  }
+  EXPECT_FALSE(hs[0].ready()) << "buffered ops have not shipped yet";
+  agg.flushAll();
+  comm::waitAll(hs);
+  EXPECT_EQ(ran.load(), 3);
+  const LatencyModel& lat = runtime_->config().latency;
+  // One batched AM: the whole group resolves at the batch's end time.
+  EXPECT_EQ(hs[0].completionTime(), hs[2].completionTime());
+  EXPECT_EQ(hs[0].completionTime(), lat.am_wire_ns + lat.am_service_ns +
+                                        3 * lat.cpu_atomic_ns);
+  EXPECT_EQ(comm::counters().am_batched, 1u);
+  // The single progress-thread push resolved all three watches at once.
+  std::uint64_t tag = 0;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cq.tryNext(tag));
+    EXPECT_EQ(tag, i);
+  }
+}
+
+TEST_F(CommAsyncTest, AggregatorAgeFlushShipsUnderfilledBuckets) {
+  RuntimeConfig cfg = testConfig(3);
+  cfg.aggregator_max_batch_age_ns = 1000;
+  runtime_ = std::make_unique<Runtime>(cfg);
+  comm::Aggregator agg(/*ops_per_batch=*/64);
+  std::atomic<int> ran{0};
+  agg.enqueue(1, [&ran] { ran.fetch_add(1); });
+  EXPECT_EQ(agg.pendingFor(1), 1u);
+  EXPECT_EQ(comm::counters().am_batched, 0u);
+  sim::setNow(sim::now() + 2000);  // age the bucket past the knob
+  agg.enqueue(2, [&ran] { ran.fetch_add(1); });  // any enqueue sweeps ages
+  EXPECT_EQ(agg.pendingFor(1), 0u) << "aged under-filled bucket must ship";
+  EXPECT_EQ(agg.pendingFor(2), 1u) << "fresh bucket keeps buffering";
+  EXPECT_EQ(comm::counters().am_batched, 1u);
+  sim::setNow(sim::now() + 2000);
+  agg.flushAged();  // the explicit sweep for drain loops that go idle
+  EXPECT_EQ(agg.pendingFor(2), 0u);
+  EXPECT_EQ(comm::counters().am_batched, 2u);
+  comm::quiesceAmQueues();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST_F(CommAsyncTest, AggregatorAgeFlushDisabledWhenKnobIsZero) {
+  RuntimeConfig cfg = testConfig(2);
+  cfg.aggregator_max_batch_age_ns = 0;
+  runtime_ = std::make_unique<Runtime>(cfg);
+  comm::Aggregator agg(/*ops_per_batch=*/64);
+  agg.enqueue(1, [] {});
+  sim::setNow(sim::now() + 1'000'000'000);
+  agg.flushAged();
+  agg.enqueue(1, [] {});
+  EXPECT_EQ(agg.pendingFor(1), 2u) << "age flushing off: only threshold/flush ship";
+  EXPECT_EQ(comm::counters().am_batched, 0u);
+  agg.flushAll();
 }
 
 TEST_F(CommAsyncTest, AggregatorDestructorFlushes) {
@@ -361,6 +548,98 @@ TEST_F(CommAsyncTest, MsQueueEnqueueAsyncKeepsFifoLocally) {
     ASSERT_TRUE(v.has_value());
     EXPECT_EQ(*v, i);
   }
+}
+
+TEST_F(CommAsyncTest, DistStackPopAsyncShipsThePopLoop) {
+  startRuntime(4);
+  DistDomain domain = DistDomain::create();
+  auto* stack = DistStack<std::uint64_t>::create(domain, /*home=*/0);
+  {
+    auto guard = domain.pin();
+    for (std::uint64_t i = 0; i < 32; ++i) stack->push(guard, i);
+  }
+  onLocale(1, [domain, stack] {
+    auto guard = domain.pin();
+    std::vector<comm::Handle<std::optional<std::uint64_t>>> hs;
+    hs.reserve(32);
+    for (int i = 0; i < 32; ++i) hs.push_back(stack->popAsync(guard));
+    comm::waitAll(hs);
+    // Single consumer, shipped pops linearize FIFO at home: strict LIFO.
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      ASSERT_TRUE(hs[i].value().has_value());
+      EXPECT_EQ(*hs[i].value(), 31 - i);
+    }
+    EXPECT_FALSE(stack->popAsync(guard).value().has_value())
+        << "empty stack resolves to nullopt";
+  });
+  DistStack<std::uint64_t>::destroy(stack);
+  domain.destroy();
+}
+
+TEST_F(CommAsyncTest, DistStackAggregatedPopsDrainAcrossLocales) {
+  startRuntime(4);
+  DistDomain domain = DistDomain::create();
+  auto* stack = DistStack<std::uint64_t>::create(domain, /*home=*/0);
+  constexpr int kPerLocale = 24;
+  coforallLocales([domain, stack] {
+    auto guard = domain.pin();
+    std::vector<comm::Handle<>> pushes;
+    pushes.reserve(kPerLocale);
+    for (int i = 0; i < kPerLocale; ++i) {
+      pushes.push_back(stack->pushAsync(guard, Runtime::here() * 1000 + i));
+    }
+    comm::waitAll(pushes);
+  });
+  // Exactly as many pops as items, issued in windows of batched async pops:
+  // every one must come back with a value, across all locales.
+  std::atomic<std::uint64_t> popped{0};
+  coforallLocales([domain, stack, &popped] {
+    auto guard = domain.pin();
+    std::vector<comm::Handle<std::optional<std::uint64_t>>> window;
+    window.reserve(kPerLocale);
+    for (int i = 0; i < kPerLocale; ++i) {
+      window.push_back(stack->popAsyncAggregated(guard));
+    }
+    comm::taskAggregator().flushAll();  // ship the window before joining it
+    comm::waitAll(window);
+    std::uint64_t got = 0;
+    for (auto& h : window) got += h.value().has_value() ? 1 : 0;
+    popped.fetch_add(got, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(popped.load(), static_cast<std::uint64_t>(kPerLocale) * 4);
+  EXPECT_TRUE(stack->emptyApprox());
+  DistStack<std::uint64_t>::destroy(stack);
+  domain.destroy();
+}
+
+TEST_F(CommAsyncTest, MsQueueAsyncOpsShipUnderDistDomain) {
+  startRuntime(2);
+  DistDomain domain = DistDomain::create();
+  auto* queue = gnewOn<MsQueue<std::uint64_t, DistDomain>>(0, domain);
+  const auto before = comm::counters();
+  onLocale(1, [domain, queue] {
+    auto guard = domain.pin();
+    std::vector<comm::Handle<>> hs;
+    hs.reserve(16);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      hs.push_back(queue->enqueueAsync(guard, i));
+    }
+    comm::waitAll(hs);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      auto h = queue->dequeueAsync(guard);
+      auto v = h.value();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, i) << "shipped enqueues/dequeues preserve FIFO";
+    }
+    EXPECT_FALSE(queue->dequeueAsync(guard).value().has_value());
+  });
+  // The shipped handlers run under the home progress thread's cached guard
+  // and the queue's node-field reads go through the comm layer now: the
+  // remote dequeues must have injected AMs (no direct-load shortcut).
+  EXPECT_GT(comm::counters().totalAms(), before.totalAms());
+  domain.clear();
+  onLocale(0, [queue] { gdelete(queue); });
+  domain.destroy();
 }
 
 }  // namespace
