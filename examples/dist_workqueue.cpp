@@ -1,16 +1,20 @@
 // Distributed work queue: a global-view DistStack as a task bag, consumed
-// in the *drain-loop* style of the composable completion API.
+// by a *multi-worker drain* over one shared (MPMC) CompletionQueue.
 //
-//   ./examples/dist_workqueue [--locales=N] [--items=K] [--comm=ugni|none]
+//   ./examples/dist_workqueue [--locales=N] [--items=K] [--workers=W]
+//                             [--comm=ugni|none]
 //
-// Locale 0 seeds a bag of integration subintervals with pipelined async
-// pushes (joined in one waitAll sweep). Every locale then keeps a window
-// of popAsync operations in flight and *drains* a comm::CompletionQueue --
-// the home locale's progress thread pushes each completion in as the
-// shipped pop loop finishes, the consumer computes the integral while the
-// next pops are already on the wire, and reissues into the drained slot.
-// No spin-polling anywhere. The DistDomain reclaims the work-item nodes
-// while consumers race.
+// Locale 0 seeds a bag of integration subintervals with aggregated async
+// pushes issued inside a comm::OpWindow -- the whole seed is a handful of
+// batched AMs, and closing the window ships + joins them with no manual
+// flushAll() anywhere. Every locale then runs W worker tasks sharing ONE
+// CompletionQueue: a window of popAsync operations stays in flight, the
+// home locale's progress thread pushes each completion in, and whichever
+// worker drains a slot computes that item's integral and reissues into it
+// while its siblings drain the next completions in parallel. No
+// spin-polling, no per-worker queue: the MPMC drain feeds all workers from
+// one stream. The DistDomain reclaims the work-item nodes while consumers
+// race.
 #include <cmath>
 #include <cstdio>
 
@@ -48,73 +52,96 @@ int main(int argc, char** argv) {
   cfg.inject_delays = false;
   Runtime rt(cfg);
   const auto items = static_cast<std::uint64_t>(opts.integer("items", 512));
+  const auto workers =
+      static_cast<std::uint32_t>(opts.integer("workers", 2));
 
   DistDomain domain = DistDomain::create();
   // Home the bag on the *last* locale: seeding runs on locale 0, so the
-  // async pushes below genuinely ship their link loops across the wire
-  // (with home == 0 they would all take the inline fast path).
+  // aggregated pushes below genuinely ship their link loops across the
+  // wire (with home == 0 they would all take the inline fast path).
   auto* bag = DistStack<WorkItem>::create(domain, cfg.num_locales - 1);
 
-  // Seed: locale 0 splits [0, 1] into `items` subintervals. Pushes are
-  // issued asynchronously (the link loop ships to the bag's home locale)
-  // and joined in one waitAll sweep -- seeding overlaps instead of paying
-  // one round trip per item.
+  // Seed: locale 0 splits [0, 1] into `items` subintervals. Pushes ride the
+  // task Aggregator (one batched AM per aggregator threshold instead of one
+  // AM per item) and are owned by the OpWindow: closing the scope flushes
+  // whatever is still buffered and joins every push at the max sim-time.
   {
     auto guard = domain.pin();
-    std::vector<comm::Handle<>> in_flight;
-    in_flight.reserve(items);
+    comm::OpWindow window;
     for (std::uint64_t i = 0; i < items; ++i) {
       const double lo = static_cast<double>(i) / items;
       const double hi = static_cast<double>(i + 1) / items;
-      in_flight.push_back(bag->pushAsync(guard, WorkItem{lo, hi}));
+      bag->pushAsyncAggregated(guard, WorkItem{lo, hi});
     }
-    comm::waitAll(in_flight);
-  }
+  }  // window closes: batch shipped + joined; the bag is fully seeded
 
-  // Consume, drain-loop style: each locale keeps a window of shipped pops
-  // in flight; the progress thread pushes completions into the task's
-  // CompletionQueue, and every drained slot is reissued until the bag runs
-  // dry. The integral for one item is computed while the next pops are
-  // already being serviced at the bag's home locale.
+  // Consume, multi-worker drain style: each locale keeps a window of
+  // shipped pops in flight in a SHARED slot table and runs `workers` tasks
+  // draining ONE MPMC CompletionQueue. The progress thread pushes each
+  // completion in; exactly one worker receives it, integrates the item
+  // while its siblings drain the next slots, and reissues into the drained
+  // slot. Slot handoff is race-free by construction: a slot is touched only
+  // by the worker that drained its tag, and the queue's internal lock
+  // orders reissue-write -> watch -> drain-read.
   constexpr std::uint64_t kWindow = 8;
   std::atomic<std::uint64_t> items_done{0};
   std::vector<CachePadded<std::atomic<double>>> partial(cfg.num_locales);
   coforallLocales([&, domain, bag] {
-    auto guard = domain.attach();
     comm::CompletionQueue cq;
     std::vector<comm::Handle<std::optional<WorkItem>>> slots(kWindow);
-    auto issue = [&](std::uint64_t slot) {
-      guard.pin();
-      slots[slot] = bag->popAsync(guard);
-      guard.unpin();
-      cq.watch(slots[slot], slot);
-    };
-    for (std::uint64_t s = 0; s < kWindow; ++s) issue(s);
-
-    double local_sum = 0.0;
-    std::uint64_t local_count = 0;
-    bool drained = false;
-    while (auto slot = cq.next()) {
-      const auto& item = slots[*slot].value();
-      if (!item.has_value()) {
-        // The bag was empty at this pop's linearization; pops only remove,
-        // so it stays empty -- stop reissuing and let the window drain.
-        drained = true;
-        continue;
+    std::atomic<bool> bag_drained{false};
+    {
+      // Prime the window from the locale's coordinating task.
+      auto guard = domain.attach();
+      for (std::uint64_t s = 0; s < kWindow; ++s) {
+        guard.pin();
+        slots[s] = bag->popAsync(guard);
+        guard.unpin();
+        cq.watch(slots[s], s);
       }
-      local_sum += integrate(*item);
-      ++local_count;
-      if (!drained) issue(*slot);
-      if (local_count % 64 == 0) guard.tryReclaim();
     }
-    partial[Runtime::here()]->store(local_sum, std::memory_order_relaxed);
-    items_done.fetch_add(local_count, std::memory_order_relaxed);
+
+    std::vector<CachePadded<std::atomic<double>>> worker_sum(workers);
+    std::atomic<std::uint64_t> locale_count{0};
+    coforallHere(workers, [&](std::uint32_t w) {
+      auto guard = domain.attach();
+      double sum = 0.0;
+      std::uint64_t count = 0;
+      while (auto slot = cq.next()) {  // MPMC: siblings block on the same cv
+        const auto& item = slots[*slot].value();
+        if (!item.has_value()) {
+          // The bag was empty at this pop's linearization; pops only
+          // remove, so it stays empty -- stop reissuing, let the rest of
+          // the window drain (any worker may consume the remnants).
+          bag_drained.store(true, std::memory_order_relaxed);
+          continue;
+        }
+        sum += integrate(*item);
+        ++count;
+        if (!bag_drained.load(std::memory_order_relaxed)) {
+          guard.pin();
+          slots[*slot] = bag->popAsync(guard);
+          guard.unpin();
+          cq.watch(slots[*slot], *slot);
+        }
+        if (count % 64 == 0) guard.tryReclaim();
+      }
+      worker_sum[w]->store(sum, std::memory_order_relaxed);
+      locale_count.fetch_add(count, std::memory_order_relaxed);
+    });
+
+    double locale_sum = 0.0;
+    for (auto& s : worker_sum) locale_sum += s->load(std::memory_order_relaxed);
+    partial[Runtime::here()]->store(locale_sum, std::memory_order_relaxed);
+    items_done.fetch_add(locale_count.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
   });
 
   double pi = 0.0;
   for (auto& p : partial) pi += p->load(std::memory_order_relaxed);
 
-  std::printf("locales=%u items=%llu consumed=%llu\n", cfg.num_locales,
+  std::printf("locales=%u workers=%u items=%llu consumed=%llu\n",
+              cfg.num_locales, workers,
               static_cast<unsigned long long>(items),
               static_cast<unsigned long long>(items_done.load()));
   std::printf("integral of 4/(1+x^2) on [0,1] = %.12f (pi = %.12f)\n", pi,

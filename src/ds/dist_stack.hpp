@@ -104,6 +104,31 @@ class DistStack {
     return comm::readyHandle();
   }
 
+  /// Batched flavor of pushAsync: the shipped link loop rides the calling
+  /// task's comm::Aggregator, so a window of pushes pays one wire+service
+  /// charge per batch instead of per push (the head-CAS retry loop runs
+  /// entirely on the home locale, one op of a batch). The batch's handles
+  /// resolve together when it is serviced. Ships at batch-full / age /
+  /// flush -- or automatically when the handle is waited/drained or an
+  /// enclosing comm::OpWindow closes; no manual flushAll() needed.
+  comm::Handle<> pushAsyncAggregated(Guard& guard, T value) {
+    PGASNB_CHECK_MSG(guard.pinned(),
+                     "DistStack::pushAsyncAggregated requires a pinned guard");
+    Node* node = Domain::template make<Node>();
+    node->value = value;
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t home = Runtime::get().localeOfAddress(this);
+      if (home != Runtime::here()) {
+        // Like pushAsync: linking never dereferences popped nodes, so the
+        // shipped handler needs no epoch pin of its own.
+        return comm::taskAggregator().enqueueHandle(
+            home, [this, node] { linkNode(node); });
+      }
+    }
+    linkNode(node);
+    return comm::readyHandle();
+  }
+
   /// Non-blocking pop via operation shipping: the whole pop loop runs on
   /// the stack's home locale -- head read, node snapshot and CAS are all
   /// locale-local there -- under the progress thread's *cached* epoch guard
@@ -128,9 +153,10 @@ class DistStack {
   /// Batched flavor of popAsync: the shipped pop rides the calling task's
   /// comm::Aggregator, so a window of pops pays one wire+service charge
   /// per batch instead of per pop, and the whole window's handles resolve
-  /// together when their batch is serviced. CAUTION: a buffered pop only
-  /// ships at batch-full / age / flush -- flush the aggregator
-  /// (comm::taskAggregator().flushAll()) before waiting on the handles.
+  /// together when their batch is serviced. A buffered pop ships at
+  /// batch-full / age / flush -- or automatically when its handle is
+  /// waited/drained or an enclosing comm::OpWindow closes, so joining no
+  /// longer needs a manual flushAll().
   comm::Handle<std::optional<T>> popAsyncAggregated(Guard& guard) {
     PGASNB_CHECK_MSG(guard.pinned(),
                      "DistStack::popAsyncAggregated requires a pinned guard");

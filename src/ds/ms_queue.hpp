@@ -20,7 +20,9 @@
 // queue's home locale (where the head/tail words live) and return
 // completion handles; the shipped handler pins the progress thread's
 // cached guard (one registration per (thread, domain)) instead of
-// registering a token per message.
+// registering a token per message. enqueueAsyncAggregated additionally
+// rides the task Aggregator -- a window of appends is one batched AM --
+// and composes with comm::OpWindow for flush-free joining.
 #pragma once
 
 #include <atomic>
@@ -108,6 +110,40 @@ class MsQueue {
   /// pushAsync on every producer-side structure).
   comm::Handle<> pushAsync(Guard& guard, T value) {
     return enqueueAsync(guard, std::move(value));
+  }
+
+  /// Batched flavor of enqueueAsync: the shipped append loop rides the
+  /// calling task's comm::Aggregator, so a window of enqueues pays one
+  /// wire+service charge per batch instead of per enqueue -- the remote
+  /// tail-link CAS retry loop no longer round-trips per retry, it runs
+  /// entirely on the home locale as one op of a batch. The whole batch's
+  /// handles resolve together when it is serviced. Ships at batch-full /
+  /// age / flush -- or automatically when the handle is waited/drained or
+  /// an enclosing comm::OpWindow closes; no manual flushAll() needed.
+  comm::Handle<> enqueueAsyncAggregated(Guard& guard, T value) {
+    PGASNB_CHECK_MSG(guard.pinned(),
+                     "MsQueue::enqueueAsyncAggregated requires a pinned guard");
+    Node* node = Domain::template make<Node>();
+    node->value = std::move(value);
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t home = Runtime::get().localeOfAddress(this);
+      if (home != Runtime::here()) {
+        return comm::taskAggregator().enqueueHandle(home, [this, node] {
+          // Same guard discipline as enqueueAsync: the append loop
+          // dereferences the observed tail under the progress thread's
+          // cached guard.
+          PinScope<Guard> pin(domain().threadGuard());
+          enqueueNode(node);
+        });
+      }
+    }
+    enqueueNode(node);
+    return comm::readyHandle();
+  }
+
+  /// Stack-compatible spelling of enqueueAsyncAggregated.
+  comm::Handle<> pushAsyncAggregated(Guard& guard, T value) {
+    return enqueueAsyncAggregated(guard, std::move(value));
   }
 
   std::optional<T> dequeue(Guard& guard) {

@@ -25,10 +25,9 @@
 // allocation (`Domain::make<N>()` / `Domain::destroyNode()` /
 // `Domain::retireNode()`), replacing the per-structure node policies.
 //
-// The pre-PR-1 token spellings (EpochManager::registerTask() and the
-// Local* twins) are gone; the managers expose acquireToken() as the
-// low-level entry the domains build on. See docs/API.md for the migration
-// table.
+// The managers expose acquireToken() as the low-level entry the domains
+// build on; application code never touches tokens directly. (Migrating
+// from the historical token-registration API? docs/API.md has the table.)
 #pragma once
 
 #include <concepts>

@@ -34,8 +34,12 @@
 // Every data structure in ds/ takes the Domain as a template parameter, so
 // the same algorithm body serves both builds. The communication layer is
 // non-blocking underneath: hot ops have async variants returning a
-// comm::Handle<T>, and fire-and-forget work (cross-locale retires above
-// all) is coalesced per destination by comm::Aggregator; see docs/API.md.
+// comm::Handle<T>, fire-and-forget work (cross-locale retires above all)
+// is coalesced per destination by comm::Aggregator, and a comm::OpWindow
+// scopes batch-then-join over the aggregated ops (close = auto-flush +
+// join at the max sim-time). Drain completions -- with as many worker
+// tasks as you like -- through the MPMC comm::CompletionQueue. See
+// docs/API.md for the guide and docs/ARCHITECTURE.md for the layer map.
 #pragma once
 
 #include "util/backoff.hpp"

@@ -149,11 +149,101 @@ void injectHandleAm(std::uint32_t loc, std::shared_ptr<HandleCore> core,
   sim::chargeModelOnly(lat.cpu_atomic_ns);
 }
 
+void flushIfBuffered(HandleCore& core) {
+  if (core.done.load(std::memory_order_acquire) != 0) return;
+  Aggregator* agg = core.buffered_in.load(std::memory_order_acquire);
+  // Only the task aggregator of the *calling* thread may be flushed from
+  // here: the pointer identity proves both ownership (aggregators are
+  // single-task) and liveness (a thread_local outlives every handle join
+  // its thread performs). An op buffered by a different task stays put --
+  // that task's own join/flush ships it.
+  if (agg != nullptr && agg == &taskAggregator()) {
+    agg->flush(core.buffered_loc);
+    return;
+  }
+  // Combinator-derived cores (then()-chains) are never buffered themselves;
+  // their completion hangs off the parent chain. Walk it so waiting on a
+  // derived handle ships the root op's batch too.
+  if (core.flush_parent != nullptr) flushIfBuffered(*core.flush_parent);
+}
+
+void flushTaskAggregatorForDrain() { taskAggregator().flushAll(); }
+
 void noteAmAsync() noexcept { bump(g_counters.am_async); }
 void noteHandlesChained() noexcept { bump(g_counters.handles_chained); }
 void noteCqDrained() noexcept { bump(g_counters.cq_drained); }
 
 }  // namespace detail
+
+// ---------------------------------------------------------------------------
+// OpWindow
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Innermost open window on this thread (LIFO nesting chain via parent_).
+thread_local OpWindow* t_current_window = nullptr;
+}  // namespace
+
+OpWindow::OpWindow()
+    : parent_(t_current_window),
+      owner_(std::this_thread::get_id()),
+      runtime_generation_(Runtime::active() ? Runtime::get().generation()
+                                            : 0) {
+  t_current_window = this;
+}
+
+OpWindow::~OpWindow() { join(); }
+
+OpWindow* OpWindow::current() noexcept { return t_current_window; }
+
+void OpWindow::enroll(std::shared_ptr<detail::HandleCore> core) {
+  PGASNB_CHECK_MSG(open_, "OpWindow::enroll on a closed window");
+  PGASNB_CHECK_MSG(owner_ == std::this_thread::get_id(),
+                   "OpWindow is bound to the thread that opened it");
+  if (core == nullptr) return;
+  cores_.push_back(std::move(core));
+}
+
+void OpWindow::join() {
+  if (open_) {
+    PGASNB_CHECK_MSG(t_current_window == this,
+                     "OpWindow closed out of LIFO nesting order");
+    PGASNB_CHECK_MSG(owner_ == std::this_thread::get_id(),
+                     "OpWindow is bound to the thread that opened it");
+    t_current_window = parent_;
+    open_ = false;
+  }
+  // Flush gate: only meaningful while the runtime the ops were issued under
+  // is still the active one; otherwise the buffers were (or will be)
+  // dropped and the never-completing cores are abandoned below.
+  const bool live =
+      Runtime::active() && Runtime::get().generation() == runtime_generation_;
+  if (live) {
+    // Ship everything this task still buffers -- owned aggregated handles
+    // and fire-and-forget ops (retires) alike. This is the auto-flush that
+    // replaces the manual flushAll() the pre-window API required.
+    taskAggregator().flushAll();
+  }
+  if (cores_.empty()) return;
+  std::uint64_t max_join = 0;
+  for (const auto& core : cores_) {
+    if (core->done.load(std::memory_order_acquire) == 0) {
+      if (!live) continue;  // op died with its runtime: nothing to wait for
+      // Auto-enrolled ops were shipped by the flushAll above; an add()-ed
+      // handle may hang off a then()-chain whose root still sits in this
+      // task's aggregator -- walk and ship it, then spin for service
+      // (identical semantics to wait() on that handle).
+      detail::flushIfBuffered(*core);
+      spinUntil([&] { return core->done.load(std::memory_order_acquire) != 0; });
+    }
+    max_join = std::max(max_join, core->done.load(std::memory_order_acquire) -
+                                      1 + core->wire_return_ns);
+  }
+  cores_.clear();
+  // One max-fold for the whole window: the caller's clock ends at the
+  // latest join-ready time of the set, exactly like waitAll's fold.
+  sim::joinAtLeast(max_join);
+}
 
 Handle<> readyHandle() {
   return completedHandle(std::make_shared<detail::HandleState<void>>(),
@@ -450,6 +540,13 @@ Aggregator::~Aggregator() {
 void Aggregator::adoptRuntime() {
   Runtime& rt = Runtime::get();
   if (runtime_generation_ != rt.generation()) {
+    // Dropping stale buffers: clear their buffered-marks so no handle
+    // still pointing here believes a flush could revive it.
+    for (Bucket& bucket : buckets_) {
+      for (const auto& core : bucket.cores) {
+        core->buffered_in.store(nullptr, std::memory_order_release);
+      }
+    }
     buckets_.assign(rt.numLocales(), {});
     total_pending_ = 0;
     next_age_deadline_ = kNoDeadline;
@@ -497,7 +594,21 @@ void Aggregator::enqueueWithCore(std::uint32_t loc, std::function<void()> op,
   bucket.ops.push_back(std::move(op));
   if (core != nullptr) {
     core->wire_return_ns = Runtime::get().config().latency.am_wire_ns;
-    bucket.cores.push_back(std::move(core));
+    // Mark the op as buffered-here so join paths (Handle::wait, whenAll,
+    // OpWindow::join) can ship its batch instead of spinning forever, and
+    // enroll it into the innermost open window on this thread, if any.
+    core->buffered_loc = loc;
+    core->buffered_in.store(this, std::memory_order_release);
+    bucket.cores.push_back(core);
+    // Only ops riding the *task* aggregator auto-enroll: that is the one
+    // aggregator a window close may legally flush. A hand-made Aggregator
+    // keeps its own flush discipline (enroll its handles explicitly with
+    // add() only after flushing it yourself).
+    if (this == &taskAggregator()) {
+      if (OpWindow* window = OpWindow::current()) {
+        window->enroll(std::move(core));
+      }
+    }
   }
   ++total_pending_;
   if (bucket.ops.size() >= ops_per_batch_) flush(loc);
@@ -514,6 +625,11 @@ void Aggregator::flush(std::uint32_t loc) {
   Bucket& bucket = buckets_[loc];
   total_pending_ -= bucket.ops.size();
   bump(g_counters.am_batched);
+  // The ops are in flight from here on: nobody should try to flush them
+  // out of this aggregator again.
+  for (const auto& core : bucket.cores) {
+    core->buffered_in.store(nullptr, std::memory_order_release);
+  }
   AmRequest req;
   req.batch = std::move(bucket.ops);
   req.send_time = sim::now();

@@ -16,6 +16,10 @@
 // `comm::Aggregator` coalesces them into one batched active message per
 // destination, paying one wire latency per batch instead of per op. The
 // distributed EpochManager routes cross-locale retires through this path.
+// An `OpWindow` scopes a batch-then-join step over the aggregated surface:
+// ops issued inside the window are owned by it, and closing the window
+// flushes and joins them at the max simulated time -- see the class below
+// and docs/ARCHITECTURE.md for the lifecycle.
 //
 // This is the layer where CommMode matters:
 //
@@ -36,6 +40,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -44,6 +49,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -66,6 +72,8 @@ struct alignas(16) U128 {
 
 namespace comm {
 
+class Aggregator;
+
 // --- completion handles ---------------------------------------------------
 
 namespace detail {
@@ -86,6 +94,20 @@ struct HandleCore {
   /// Return-path latency folded in at wait() (am_wire_ns for remote AMs,
   /// 0 for local or RDMA completions whose stored time is already final).
   std::uint64_t wire_return_ns = 0;
+  /// Non-null while the op sits *buffered* (unshipped) in an Aggregator;
+  /// the aggregator stores itself here at enqueue and clears the mark when
+  /// the batch ships (or when stale buffers are dropped). Join paths use it
+  /// to auto-flush instead of spinning on an op that can never complete --
+  /// see flushIfBuffered(). `buffered_loc` is the destination bucket; it is
+  /// only read by the enqueuing thread (the one allowed to flush).
+  std::atomic<Aggregator*> buffered_in{nullptr};
+  std::uint32_t buffered_loc = 0;
+  /// For combinator-derived cores (then()): the parent core this one's
+  /// completion depends on. A derived core is never buffered itself, so
+  /// flushIfBuffered() walks this chain to reach the (possibly buffered)
+  /// root op. Written once at derivation, before the handle is shared;
+  /// read-only afterwards.
+  std::shared_ptr<HandleCore> flush_parent;
   std::mutex waiters_lock;
   /// Guarded by waiters_lock until completion; invoked with the join-ready
   /// simulated time. A waiter added after completion runs inline.
@@ -113,6 +135,21 @@ void addCompletionWaiter(HandleCore& core,
 /// waiters). Counter attribution is the caller's business.
 void injectHandleAm(std::uint32_t loc, std::shared_ptr<HandleCore> core,
                     std::function<void()> fn);
+
+/// If `core`'s op -- or, for a combinator-derived core, the root op of its
+/// flush_parent chain -- is still buffered in the *calling task's*
+/// aggregator (taskAggregator()), ship its batch now so a subsequent wait
+/// cannot block on an op that was never going to be sent. Ops buffered in
+/// another thread's aggregator are left alone (aggregators are
+/// single-task; only their owner may flush them) -- the owner's own join,
+/// unpin, or OpWindow close ships those.
+void flushIfBuffered(HandleCore& core);
+
+/// Ship everything buffered in the calling task's aggregator. Drain-loop
+/// safety hook: a consumer about to block in CompletionQueue::next() must
+/// not leave its own aggregated ops unshipped. Defined in comm.cpp (the
+/// Aggregator lives below).
+void flushTaskAggregatorForDrain();
 
 // Counter hooks for the header-only combinators (the counters themselves
 // live in comm.cpp).
@@ -197,9 +234,14 @@ class Handle {
   }
 
   /// Block (spin) until completion, folding the completion time plus any
-  /// return-wire latency into the calling task's simulated clock. Idempotent.
+  /// return-wire latency into the calling task's simulated clock (the join
+  /// is a max-fold: waiting never rewinds the clock). Idempotent. If the op
+  /// is still buffered in the calling task's Aggregator its batch is
+  /// shipped first, so waiting on an aggregated handle can never deadlock
+  /// on an unflushed batch.
   void wait() {
     PGASNB_CHECK_MSG(valid(), "wait() on an invalid comm::Handle");
+    detail::flushIfBuffered(*state_);
     spinUntil([this] {
       return state_->done.load(std::memory_order_acquire) != 0;
     });
@@ -243,6 +285,7 @@ class Handle {
     if constexpr (detail::handle_unwrap<R>::is_handle) {
       using U = typename detail::handle_unwrap<R>::type;
       auto derived = std::make_shared<detail::HandleState<U>>();
+      derived->flush_parent = state_;
       detail::addCompletionWaiter(
           *state_, [parent = state_, derived,
                     fn = std::decay_t<F>(std::forward<F>(fn))](
@@ -264,6 +307,7 @@ class Handle {
       return Handle<U>(std::move(derived));
     } else if constexpr (std::is_void_v<R>) {
       auto derived = std::make_shared<detail::HandleState<void>>();
+      derived->flush_parent = state_;
       detail::addCompletionWaiter(
           *state_, [parent = state_, derived,
                     fn = std::decay_t<F>(std::forward<F>(fn))](
@@ -275,6 +319,7 @@ class Handle {
       return Handle<>(std::move(derived));
     } else {
       auto derived = std::make_shared<detail::HandleState<R>>();
+      derived->flush_parent = state_;
       detail::addCompletionWaiter(
           *state_, [parent = state_, derived,
                     fn = std::decay_t<F>(std::forward<F>(fn))](
@@ -323,8 +368,11 @@ void waitAll(std::vector<Handle<T>>& handles) {
 }
 
 /// A handle that completes when *all* of `handles` have, at the max
-/// join-ready time of the set. Non-blocking; the set may be empty (the
-/// result is then already complete at the current simulated time).
+/// join-ready time of the set. Non-blocking (charges nothing); the set may
+/// be empty (the result is then already complete at the current simulated
+/// time). Closing a set is a commitment: any member still buffered in the
+/// calling task's Aggregator is shipped here, so waiting on the group can
+/// never block on an unflushed batch.
 template <typename T>
 Handle<> whenAll(std::span<Handle<T>> handles) {
   detail::noteHandlesChained();
@@ -337,6 +385,7 @@ Handle<> whenAll(std::span<Handle<T>> handles) {
   ctl->remaining.store(handles.size(), std::memory_order_relaxed);
   for (Handle<T>& h : handles) {
     PGASNB_CHECK_MSG(h.valid(), "whenAll() over an invalid comm::Handle");
+    detail::flushIfBuffered(*h.state());
     detail::addCompletionWaiter(
         *h.state(), [group, ctl](std::uint64_t join) {
           std::uint64_t seen = ctl->max_join.load(std::memory_order_relaxed);
@@ -358,28 +407,36 @@ Handle<> whenAll(std::vector<Handle<T>>& handles) {
 
 // --- completion queues -----------------------------------------------------
 
-/// A per-task drain point for async completions: `watch` registers a handle
-/// under a caller-chosen tag; whichever thread completes the operation
-/// (typically a progress thread) *pushes* the completion in, and the task
-/// pops with `next()` -- blocking idle instead of spin-polling a window of
-/// handles, and folding each completion's join time into its clock as it
-/// drains. Completions arrive in completion order, which for a single
-/// destination is the progress thread's FIFO (busy_until) service order.
+/// A drain point for async completions: `watch` registers a handle under a
+/// caller-chosen tag; whichever thread completes the operation (typically a
+/// progress thread) *pushes* the completion in, and consumers pop with
+/// `next()` -- blocking idle instead of spin-polling a window of handles,
+/// and folding each completion's join time into their clock as they drain.
+/// Completions arrive in completion order, which for a single destination
+/// is the progress thread's FIFO (busy_until) service order.
 ///
-/// One consumer task per queue; producers (progress threads) may be many.
+/// The queue is **MPMC**: producers (progress threads) may be many, and
+/// since PR 4 so may consumers -- N worker tasks per locale can share one
+/// queue, each blocking in next() and waking per completion; every drained
+/// completion is delivered to exactly one consumer, which folds its join
+/// time. `nextFrom(other)` adds a work-stealing drain across two queues.
 /// Watched handles keep the queue's shared state alive, so dropping the
 /// queue with watches outstanding is safe -- the late completions are
 /// simply discarded.
 ///
-/// NOTE: an op buffered in an Aggregator (enqueueHandle/popAsyncAggregated)
-/// completes only after its batch ships; flush before blocking in next().
+/// A consumer about to block first ships anything buffered in its *own*
+/// task Aggregator, so draining a window of aggregated ops needs no manual
+/// flushAll(). (An op buffered by a *different* task still needs that task
+/// to flush -- its wait()/OpWindow close does so automatically.)
 class CompletionQueue {
  public:
   CompletionQueue() : state_(std::make_shared<State>()) {}
   CompletionQueue(const CompletionQueue&) = delete;
   CompletionQueue& operator=(const CompletionQueue&) = delete;
 
-  /// Register `h`; its completion will surface from next() as `tag`.
+  /// Register `h`; its completion will surface from next()/tryNext() (on
+  /// exactly one consumer) as `tag`. Non-blocking, charges nothing; an
+  /// already-complete handle is delivered immediately.
   template <typename T>
   void watch(const Handle<T>& h, std::uint64_t tag = 0) {
     PGASNB_CHECK_MSG(h.valid(), "watch() on an invalid comm::Handle");
@@ -397,39 +454,80 @@ class CompletionQueue {
         });
   }
 
-  /// Pop the next completion (blocking while any watch is outstanding),
-  /// folding its join time into the caller's simulated clock. Returns the
-  /// completion's tag, or nullopt once nothing is outstanding.
+  /// Pop the next completion, blocking while any watch is outstanding and
+  /// nothing is ready; folds the completion's join time into the caller's
+  /// simulated clock (max-fold). Returns the completion's tag, or nullopt
+  /// once nothing is outstanding (at which point every blocked sibling
+  /// consumer is released too). Before blocking, ships anything still
+  /// buffered in the calling task's Aggregator.
   std::optional<std::uint64_t> next() {
     std::unique_lock<std::mutex> g(state_->lock);
+    if (state_->ready.empty() && state_->outstanding != 0) {
+      // About to go idle: a watched op still sitting in our own aggregator
+      // would never ship (we are its only flusher) -- send it now.
+      g.unlock();
+      detail::flushTaskAggregatorForDrain();
+      g.lock();
+    }
     state_->cv.wait(g, [&] {
       return !state_->ready.empty() || state_->outstanding == 0;
     });
     if (state_->ready.empty()) return std::nullopt;
     const auto [tag, join] = state_->ready.front();
     state_->ready.pop_front();
-    --state_->outstanding;
+    const bool drained_out = --state_->outstanding == 0;
     g.unlock();
+    // Release sibling consumers blocked on the now-impossible "more work
+    // will arrive" predicate.
+    if (drained_out) state_->cv.notify_all();
     detail::noteCqDrained();
     sim::joinAtLeast(join);
     return tag;
   }
 
   /// Non-blocking flavor of next(); false when nothing has completed yet.
+  /// Folds the popped completion's join time like next().
   bool tryNext(std::uint64_t& tag_out) {
     std::unique_lock<std::mutex> g(state_->lock);
     if (state_->ready.empty()) return false;
     const auto [tag, join] = state_->ready.front();
     state_->ready.pop_front();
-    --state_->outstanding;
+    const bool drained_out = --state_->outstanding == 0;
     g.unlock();
+    if (drained_out) state_->cv.notify_all();
     detail::noteCqDrained();
     sim::joinAtLeast(join);
     tag_out = tag;
     return true;
   }
 
-  /// Watched-but-not-yet-drained completions.
+  /// Work-stealing drain: pop from this queue when something is ready,
+  /// otherwise *steal* a ready completion from `other` (never blocking on
+  /// it). Blocks -- in bounded slices, so steals stay responsive -- while
+  /// either queue has watches outstanding; returns nullopt once neither
+  /// has anything ready nor outstanding. The stolen completion's join time
+  /// folds into the *stealer's* clock, like any drain.
+  std::optional<std::uint64_t> nextFrom(CompletionQueue& other) {
+    for (;;) {
+      std::uint64_t tag = 0;
+      if (tryNext(tag)) return tag;
+      if (other.tryNext(tag)) return tag;
+      if (outstanding() == 0 && other.outstanding() == 0) return std::nullopt;
+      detail::flushTaskAggregatorForDrain();
+      // Park on whichever queue can still produce for us: our own while it
+      // has outstanding watches, else the victim's. Bounded wait, so a
+      // completion landing only in the other queue is picked up within a
+      // slice even though we hold neither lock while parked there.
+      CompletionQueue& park = outstanding() != 0 ? *this : other;
+      std::unique_lock<std::mutex> g(park.state_->lock);
+      park.state_->cv.wait_for(g, std::chrono::microseconds(200), [&] {
+        return !park.state_->ready.empty() || park.state_->outstanding == 0;
+      });
+    }
+  }
+
+  /// Watched-but-not-yet-drained completions (racy snapshot, like any
+  /// concurrent size).
   std::size_t outstanding() const {
     std::lock_guard<std::mutex> g(state_->lock);
     return state_->outstanding;
@@ -587,8 +685,9 @@ class Aggregator {
   Aggregator(const Aggregator&) = delete;
   Aggregator& operator=(const Aggregator&) = delete;
 
-  /// Buffer `op` for `loc`. `op_weight` is the number of logical operations
-  /// the closure performs (a pre-batched retire closure carries many); it
+  /// Buffer `op` for `loc` (fire-and-forget; charges nothing until the
+  /// batch ships). `op_weight` is the number of logical operations the
+  /// closure performs (a pre-batched retire closure carries many); it
   /// feeds the ops_aggregated counter and nothing else.
   void enqueue(std::uint32_t loc, std::function<void()> op,
                std::uint64_t op_weight = 1);
@@ -597,9 +696,11 @@ class Aggregator {
   /// AM carrying the op has been serviced. All handles riding one batch
   /// resolve *together*, at the batch's completion time -- one progress-
   /// thread push resolves the whole group (drain them via a
-  /// CompletionQueue or whenAll). CAUTION: a buffered op only ships at
-  /// batch-full / age / flush; waiting on the handle of an unshipped op
-  /// blocks forever -- flush the window before joining it.
+  /// CompletionQueue or whenAll). A buffered op ships at batch-full / age /
+  /// flush -- or automatically when its handle is waited, drained, or owned
+  /// by a closing OpWindow (on the task aggregator, joining an unshipped op
+  /// can no longer deadlock). Handles issued while an OpWindow is open on
+  /// this thread enroll into it.
   Handle<> enqueueHandle(std::uint32_t loc, std::function<void()> op,
                          std::uint64_t op_weight = 1);
 
@@ -611,6 +712,8 @@ class Aggregator {
                        std::uint64_t op_weight = 1);
 
   /// Ship the pending batch for one destination / for all destinations.
+  /// Charges one sender-side injection cost per non-empty bucket shipped;
+  /// service/wire costs accrue to the batch's completion time.
   void flush(std::uint32_t loc);
   void flushAll();
 
@@ -655,8 +758,85 @@ class Aggregator {
 };
 
 /// The calling task's aggregator (thread-local). The epoch layer drains it
-/// on guard unpin/release, so retires routed through it cannot be stranded.
+/// on guard unpin/release, so retires routed through it cannot be stranded;
+/// Handle::wait / CompletionQueue drains / OpWindow close flush it too, so
+/// aggregated handles joined on the issuing task cannot be stranded either.
 Aggregator& taskAggregator();
+
+// --- operation windows ------------------------------------------------------
+
+/// An RAII scope owning a set of in-flight asynchronous operations --
+/// above all *aggregated* ones. While a window is open on a thread, every
+/// handle-carrying op buffered through the thread's **task aggregator**
+/// (DistStack::popAsyncAggregated / pushAsyncAggregated,
+/// MsQueue::enqueueAsyncAggregated, enqueueHandle on taskAggregator())
+/// enrolls into the innermost open window automatically; handles of
+/// non-aggregated ops can be adopted with add(). Ops buffered in a
+/// hand-made Aggregator never auto-enroll -- the window cannot flush an
+/// aggregator it does not own; flush such an aggregator yourself before
+/// add()-ing (or joining) its handles.
+///
+/// Closing the window -- join(), or the destructor, including during
+/// exception unwinding -- ships every batch the calling task still has
+/// buffered (aggregated pops/pushes *and* fire-and-forget retires riding
+/// the task aggregator) and then waits for every owned operation, folding
+/// the **max** join-ready time of the set into the caller's simulated
+/// clock: one batch-then-join step, the discipline the aggregated-retire
+/// path uses, generalized to all remote ops. Together with the wait()-time
+/// auto-flush this removes the manual-flushAll() footgun by construction:
+/// no join path can block on an unshipped batch.
+///
+/// Windows nest LIFO: ops enroll into the innermost open window, an inner
+/// join leaves outer ownership intact, and closing out of order is a
+/// checked error. A window is bound to the thread that opened it (enroll,
+/// add and join assert this). Fire-and-forget aggregated ops (plain
+/// enqueue(), buffered retires) have no completion to own: the window
+/// guarantees they *ship* at close, not that they have been serviced.
+class OpWindow {
+ public:
+  /// Open a window and make it the innermost on this thread. Charges
+  /// nothing.
+  OpWindow();
+  /// Close (join()) if still open: flush + wait-all, even when unwinding.
+  ~OpWindow();
+  OpWindow(const OpWindow&) = delete;
+  OpWindow& operator=(const OpWindow&) = delete;
+
+  /// Adopt an arbitrary handle into the window (e.g. a popAsync or
+  /// putAsync) and hand it back: the window's close will wait for it too.
+  /// Charges nothing.
+  template <typename T>
+  Handle<T> add(Handle<T> h) {
+    PGASNB_CHECK_MSG(h.valid(), "OpWindow::add on an invalid comm::Handle");
+    enroll(h.state());
+    return h;
+  }
+
+  /// Close the window: ship every batch the calling task still buffers,
+  /// wait for every owned op, and fold the max join-ready time of the set
+  /// into the caller's simulated clock (one max-fold for the whole window).
+  /// Idempotent; the destructor calls it. After join() the window no longer
+  /// accepts enrollments.
+  void join();
+
+  /// Operations owned and not yet joined. / Whether join() has not run yet.
+  std::size_t inFlight() const noexcept { return cores_.size(); }
+  bool open() const noexcept { return open_; }
+
+  /// The innermost open window on the calling thread (nullptr outside any
+  /// window scope). Aggregators use this to auto-enroll handle-carrying ops.
+  static OpWindow* current() noexcept;
+
+  /// Internal: take ownership of a completion core (auto-enrollment path).
+  void enroll(std::shared_ptr<detail::HandleCore> core);
+
+ private:
+  std::vector<std::shared_ptr<detail::HandleCore>> cores_;
+  OpWindow* parent_ = nullptr;
+  std::thread::id owner_;
+  std::uint64_t runtime_generation_ = 0;
+  bool open_ = true;
+};
 
 // --- instrumentation -------------------------------------------------
 

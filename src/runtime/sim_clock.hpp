@@ -2,10 +2,29 @@
 //
 // The runtime executes everything for real (real threads, real atomics) and
 // *additionally* advances a simulated clock per task, charged from the
-// LatencyModel. Task joins take the max over children, and progress threads
-// model FIFO queueing, so the aggregate simulated elapsed time has the shape
-// a real multi-node interconnect would produce even though the host only has
-// a couple of cores (see DESIGN.md, substitution table).
+// LatencyModel. Three primitives cover every cost in the system (the full
+// charging model -- wire/service/CPU and who pays what when -- is laid out
+// in docs/ARCHITECTURE.md):
+//
+//   * charge(ns)          -- the caller spends `ns` doing something (a CPU
+//                            atomic, servicing an AM); optionally realized
+//                            as a physical busy-wait under inject_delays.
+//   * chargeModelOnly(ns) -- the model advances but no physical delay is
+//                            ever injected (costs physically realized some
+//                            other way, e.g. AM injection overlapping the
+//                            progress thread's work).
+//   * joinAtLeast(ns)     -- a *max-fold*: the caller observed something
+//                            that finished at `ns` (a handle join, a task
+//                            join, a drained completion). Never rewinds,
+//                            charges nothing if the event is in the past --
+//                            which is why joining a set ends at the set's
+//                            max and batch-then-join windows report
+//                            interconnect-shaped times instead of sums.
+//
+// Task joins take the max over children, and progress threads model FIFO
+// queueing (busy_until), so the aggregate simulated elapsed time has the
+// shape a real multi-node interconnect would produce even though the host
+// only has a couple of cores.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +52,9 @@ std::uint64_t now() noexcept;
 /// Set the simulated clock (used by task executors when starting a task).
 void setNow(std::uint64_t ns) noexcept;
 
-/// Fold a child's completion time into the current task (max-join).
+/// Fold a completion time into the current task (max-join): the clock
+/// advances to `ns` if it is behind, and stays put otherwise. The join
+/// primitive of every wait/drain/window-close path.
 void joinAtLeast(std::uint64_t ns) noexcept;
 
 /// Charge `ns` of simulated time to the current task. If the active runtime
