@@ -1,5 +1,5 @@
 // Distributed work queue: a global-view DistStack as a task bag, consumed
-// by a *multi-worker drain* over one shared (MPMC) CompletionQueue.
+// by a *locale-wide stealing drain* over per-worker completion queues.
 //
 //   ./examples/dist_workqueue [--locales=N] [--items=K] [--workers=W]
 //                             [--comm=ugni|none]
@@ -7,14 +7,18 @@
 // Locale 0 seeds a bag of integration subintervals with aggregated async
 // pushes issued inside a comm::OpWindow -- the whole seed is a handful of
 // batched AMs, and closing the window ships + joins them with no manual
-// flushAll() anywhere. Every locale then runs W worker tasks sharing ONE
-// CompletionQueue: a window of popAsync operations stays in flight, the
-// home locale's progress thread pushes each completion in, and whichever
-// worker drains a slot computes that item's integral and reissues into it
-// while its siblings drain the next completions in parallel. No
-// spin-polling, no per-worker queue: the MPMC drain feeds all workers from
-// one stream. The DistDomain reclaims the work-item nodes while consumers
-// race.
+// flushAll() anywhere. Every locale then runs W worker tasks, each owning
+// a CompletionQueue ENROLLED in the locale's DrainGroup: a window of
+// popAsync operations stays in flight per worker, the home locale's
+// progress thread pushes each completion into the issuing worker's queue,
+// and a worker drains with nextAny() -- its own queue first, then a
+// *steal* from any sibling's (randomized victim order, bounded parking).
+// A worker that finishes its share keeps the locale busy by draining its
+// siblings' backlogs; reissues land in the stealer's queue, so work
+// migrates toward the less-loaded workers. No spin-polling, no shared
+// queue bottleneck: the DrainGroup is the locale's consumer surface. The
+// DistDomain reclaims the work-item nodes while consumers race.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -75,60 +79,66 @@ int main(int argc, char** argv) {
     }
   }  // window closes: batch shipped + joined; the bag is fully seeded
 
-  // Consume, multi-worker drain style: each locale keeps a window of
-  // shipped pops in flight in a SHARED slot table and runs `workers` tasks
-  // draining ONE MPMC CompletionQueue. The progress thread pushes each
-  // completion in; exactly one worker receives it, integrates the item
-  // while its siblings drain the next slots, and reissues into the drained
-  // slot. Slot handoff is race-free by construction: a slot is touched only
-  // by the worker that drained its tag, and the queue's internal lock
-  // orders reissue-write -> watch -> drain-read.
-  constexpr std::uint64_t kWindow = 8;
+  // Consume, locale-wide stealing drain style: each worker keeps its share
+  // of a SHARED slot table in flight through its OWN enrolled queue and
+  // drains with nextAny(). A stolen tag may index any slot; the slot is
+  // touched only by the worker that drained it (the queue/steal locks
+  // order reissue-write -> watch -> drain-read), and its reissue is
+  // watched into the *stealer's* queue -- the migration that keeps every
+  // worker fed. nextAny() returns nullopt once the whole group looks
+  // quiescent; each worker reissues BEFORE computing so that window is
+  // tiny (an idle sibling catching it exits early, which costs
+  // parallelism, never items -- the reissuing workers drain the rest).
+  // At least one in-flight slot per worker, so no worker starts with an
+  // empty share and quits before its siblings have anything to steal.
+  const std::uint64_t window_slots = std::max<std::uint64_t>(8, workers);
+  const comm::Counters before = comm::counters();
   std::atomic<std::uint64_t> items_done{0};
   std::vector<CachePadded<std::atomic<double>>> partial(cfg.num_locales);
   coforallLocales([&, domain, bag] {
-    comm::CompletionQueue cq;
-    std::vector<comm::Handle<std::optional<WorkItem>>> slots(kWindow);
+    std::vector<comm::Handle<std::optional<WorkItem>>> slots(window_slots);
     std::atomic<bool> bag_drained{false};
-    {
-      // Prime the window from the locale's coordinating task.
-      auto guard = domain.attach();
-      for (std::uint64_t s = 0; s < kWindow; ++s) {
-        guard.pin();
-        slots[s] = bag->popAsync(guard);
-        guard.unpin();
-        cq.watch(slots[s], s);
-      }
-    }
 
     std::vector<CachePadded<std::atomic<double>>> worker_sum(workers);
     std::atomic<std::uint64_t> locale_count{0};
     coforallHere(workers, [&](std::uint32_t w) {
       auto guard = domain.attach();
+      comm::CompletionQueue cq;
+      cq.enrollLocal();  // steal victim for -- and stealer from -- siblings
+      // Prime this worker's share of the slot table (round-robin split).
+      for (std::uint64_t s = w; s < window_slots; s += workers) {
+        guard.pin();
+        slots[s] = bag->popAsync(guard);
+        guard.unpin();
+        cq.watch(slots[s], s);
+      }
       double sum = 0.0;
       std::uint64_t count = 0;
-      while (auto slot = cq.next()) {  // MPMC: siblings block on the same cv
-        const auto& item = slots[*slot].value();
+      while (auto slot = cq.nextAny()) {  // own queue first, then steal
+        // Copy the payload out: the reissue below overwrites the slot.
+        const std::optional<WorkItem> item = slots[*slot].value();
         if (!item.has_value()) {
           // The bag was empty at this pop's linearization; pops only
           // remove, so it stays empty -- stop reissuing, let the rest of
-          // the window drain (any worker may consume the remnants).
+          // the group's windows drain (any worker may consume them).
           bag_drained.store(true, std::memory_order_relaxed);
           continue;
         }
-        sum += integrate(*item);
-        ++count;
+        // Reissue FIRST, compute second: the pop overlaps the integration
+        // and the drained->rewatched quiescence window stays tiny.
         if (!bag_drained.load(std::memory_order_relaxed)) {
           guard.pin();
           slots[*slot] = bag->popAsync(guard);
           guard.unpin();
-          cq.watch(slots[*slot], *slot);
+          cq.watch(slots[*slot], *slot);  // reissue lands in MY queue
         }
+        sum += integrate(*item);
+        ++count;
         if (count % 64 == 0) guard.tryReclaim();
       }
       worker_sum[w]->store(sum, std::memory_order_relaxed);
       locale_count.fetch_add(count, std::memory_order_relaxed);
-    });
+    });  // queues unenroll from the DrainGroup as the workers return
 
     double locale_sum = 0.0;
     for (auto& s : worker_sum) locale_sum += s->load(std::memory_order_relaxed);
@@ -136,6 +146,7 @@ int main(int argc, char** argv) {
     items_done.fetch_add(locale_count.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
   });
+  const comm::Counters after = comm::counters();
 
   double pi = 0.0;
   for (auto& p : partial) pi += p->load(std::memory_order_relaxed);
@@ -144,6 +155,11 @@ int main(int argc, char** argv) {
               cfg.num_locales, workers,
               static_cast<unsigned long long>(items),
               static_cast<unsigned long long>(items_done.load()));
+  std::printf("drained %llu completions, %llu via sibling steals\n",
+              static_cast<unsigned long long>(after.cq_drained -
+                                              before.cq_drained),
+              static_cast<unsigned long long>(after.cq_stolen -
+                                              before.cq_stolen));
   std::printf("integral of 4/(1+x^2) on [0,1] = %.12f (pi = %.12f)\n", pi,
               M_PI);
 

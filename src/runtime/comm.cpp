@@ -20,6 +20,8 @@ struct AtomicCounters {
   std::atomic<std::uint64_t> ops_aggregated{0};
   std::atomic<std::uint64_t> handles_chained{0};
   std::atomic<std::uint64_t> cq_drained{0};
+  std::atomic<std::uint64_t> cq_stolen{0};
+  std::atomic<std::uint64_t> continuations_stolen{0};
   std::atomic<std::uint64_t> puts{0};
   std::atomic<std::uint64_t> gets{0};
   std::atomic<std::uint64_t> dcas_local{0};
@@ -105,6 +107,11 @@ Handle<T> injectAmHandle(std::uint32_t loc,
   return Handle<T>(std::move(state));
 }
 
+/// Innermost open window on this thread (LIFO nesting chain via parent_).
+/// Lives up here so detail::helpOneDeferred can mask it around foreign
+/// deferred bodies.
+thread_local OpWindow* t_current_window = nullptr;
+
 }  // namespace
 
 namespace detail {
@@ -169,9 +176,76 @@ void flushIfBuffered(HandleCore& core) {
 
 void flushTaskAggregatorForDrain() { taskAggregator().flushAll(); }
 
+DrainGroup* localDrainGroup() noexcept {
+  if (!Runtime::active()) return nullptr;
+  return &Runtime::get().locale(Runtime::here()).drainGroup();
+}
+
+void deferContinuationTo(std::uint32_t loc, std::function<void()> run) {
+  Runtime::get().locale(loc).drainGroup().defer(std::move(run));
+}
+
+bool helpOneDeferred() {
+  // Progress threads never execute deferred bodies -- routing them off the
+  // AM service path is the whole point of ExecPolicy::worker.
+  if (taskContext().progress_thread) return false;
+  DrainGroup* group = localDrainGroup();
+  if (group == nullptr) return false;
+  // Mask any OpWindow the *helping* thread has open: the deferred body
+  // belongs to a foreign chain, and aggregated ops it issues must not
+  // auto-enroll into a window whose owner never issued them (the close
+  // would max-fold an unrelated chain's join time). RAII so a throwing
+  // body cannot leave the thread's window enrollment broken for good.
+  struct MaskAndFlush {
+    OpWindow* saved = t_current_window;
+    std::uint64_t enqueues_before = taskAggregator().bufferedEnqueues();
+    MaskAndFlush() { t_current_window = nullptr; }
+    ~MaskAndFlush() {
+      // The body may have buffered aggregated ops into THIS thread's task
+      // aggregator. The task that waits on them cannot flush a foreign
+      // aggregator (flushIfBuffered's ownership rule), and this thread may
+      // now park indefinitely -- ship before anything strands. Gated on
+      // the *monotone* buffered-enqueue count (not pending(), which an
+      // intervening auto-flush can coincidentally restore): a body that
+      // buffers nothing triggers no flush, so the helper's own partial
+      // batches survive the common help case. When the body DID buffer,
+      // flushAll necessarily ships the helper's partial batches along --
+      // stranding a foreign chain's ops would be worse than the lost
+      // batching.
+      Aggregator& agg = taskAggregator();
+      if (agg.bufferedEnqueues() != enqueues_before && agg.pending() != 0) {
+        agg.flushAll();
+      }
+      t_current_window = saved;
+    }
+  } scope;
+  return group->runOneDeferred();
+}
+
+void spinHelpUntilDone(HandleCore& core) {
+  Backoff backoff;
+  while (core.done.load(std::memory_order_acquire) == 0) {
+    if (helpOneDeferred()) {
+      backoff.reset();
+      continue;
+    }
+    backoff.pause();
+  }
+}
+
+std::chrono::microseconds cqParkSlice() noexcept {
+  std::uint32_t us = 200;
+  if (Runtime::active()) us = Runtime::get().config().cq_park_slice_us;
+  return std::chrono::microseconds(us == 0 ? 1 : us);
+}
+
 void noteAmAsync() noexcept { bump(g_counters.am_async); }
 void noteHandlesChained() noexcept { bump(g_counters.handles_chained); }
 void noteCqDrained() noexcept { bump(g_counters.cq_drained); }
+void noteCqStolen() noexcept { bump(g_counters.cq_stolen); }
+void noteContinuationStolen() noexcept {
+  bump(g_counters.continuations_stolen);
+}
 
 }  // namespace detail
 
@@ -179,16 +253,21 @@ void noteCqDrained() noexcept { bump(g_counters.cq_drained); }
 // OpWindow
 // ---------------------------------------------------------------------------
 
-namespace {
-/// Innermost open window on this thread (LIFO nesting chain via parent_).
-thread_local OpWindow* t_current_window = nullptr;
-}  // namespace
-
-OpWindow::OpWindow()
+OpWindow::OpWindow(WindowMode mode)
     : parent_(t_current_window),
       owner_(std::this_thread::get_id()),
       runtime_generation_(Runtime::active() ? Runtime::get().generation()
-                                            : 0) {
+                                            : 0),
+      mode_(mode) {
+  if (mode_ == WindowMode::drain) {
+    // Deliberately NOT group-enrolled: the queue's tags are the window's
+    // private enrollment indices, and queues enrolled in a DrainGroup
+    // share the locale's tag namespace (a sibling stealing tag 3 from
+    // here would misread it as its own slot 3). The window still routes
+    // through the drain scheduler at close -- next() parks in bounded
+    // slices and helps the locale's deferred continuations.
+    cq_ = std::make_unique<CompletionQueue>();
+  }
   t_current_window = this;
 }
 
@@ -201,7 +280,22 @@ void OpWindow::enroll(std::shared_ptr<detail::HandleCore> core) {
   PGASNB_CHECK_MSG(owner_ == std::this_thread::get_id(),
                    "OpWindow is bound to the thread that opened it");
   if (core == nullptr) return;
+  // Drain mode: the op's completion is pushed into the window's queue the
+  // moment it lands, tagged with its enrollment index.
+  if (cq_ != nullptr) cq_->watchCore(core, cores_.size());
   cores_.push_back(std::move(core));
+}
+
+std::size_t OpWindow::drain() {
+  PGASNB_CHECK_MSG(mode_ == WindowMode::drain,
+                   "OpWindow::drain on a spin-mode window");
+  PGASNB_CHECK_MSG(owner_ == std::this_thread::get_id(),
+                   "OpWindow is bound to the thread that opened it");
+  if (cq_ == nullptr) return 0;
+  std::size_t drained = 0;
+  std::uint64_t tag = 0;
+  while (cq_->tryNext(tag)) ++drained;  // each pop max-folds its join
+  return drained;
 }
 
 void OpWindow::join() {
@@ -224,6 +318,17 @@ void OpWindow::join() {
     // replaces the manual flushAll() the pre-window API required.
     taskAggregator().flushAll();
   }
+  if (cq_ != nullptr) {
+    // Drain-mode close: consume the window's queue to quiescence instead
+    // of spin-joining -- completions are folded as they land, parking in
+    // bounded slices and helping deferred continuations in between. Every
+    // owned core is complete once the queue reports nothing outstanding.
+    if (live) {
+      while (cq_->next().has_value()) {
+      }
+    }
+    cq_.reset();
+  }
   if (cores_.empty()) return;
   std::uint64_t max_join = 0;
   for (const auto& core : cores_) {
@@ -231,10 +336,11 @@ void OpWindow::join() {
       if (!live) continue;  // op died with its runtime: nothing to wait for
       // Auto-enrolled ops were shipped by the flushAll above; an add()-ed
       // handle may hang off a then()-chain whose root still sits in this
-      // task's aggregator -- walk and ship it, then spin for service
-      // (identical semantics to wait() on that handle).
+      // task's aggregator -- walk and ship it, then spin (helping with
+      // deferred continuations) for service, identical semantics to
+      // wait() on that handle.
       detail::flushIfBuffered(*core);
-      spinUntil([&] { return core->done.load(std::memory_order_acquire) != 0; });
+      detail::spinHelpUntilDone(*core);
     }
     max_join = std::max(max_join, core->done.load(std::memory_order_acquire) -
                                       1 + core->wire_return_ns);
@@ -592,6 +698,7 @@ void Aggregator::enqueueWithCore(std::uint32_t loc, std::function<void()> op,
     }
   }
   bucket.ops.push_back(std::move(op));
+  ++buffered_enqueues_;
   if (core != nullptr) {
     core->wire_return_ns = Runtime::get().config().latency.am_wire_ns;
     // Mark the op as buffered-here so join paths (Handle::wait, whenAll,
@@ -686,6 +793,9 @@ Counters counters() noexcept {
   snapshot.handles_chained =
       g_counters.handles_chained.load(std::memory_order_relaxed);
   snapshot.cq_drained = g_counters.cq_drained.load(std::memory_order_relaxed);
+  snapshot.cq_stolen = g_counters.cq_stolen.load(std::memory_order_relaxed);
+  snapshot.continuations_stolen =
+      g_counters.continuations_stolen.load(std::memory_order_relaxed);
   snapshot.puts = g_counters.puts.load(std::memory_order_relaxed);
   snapshot.gets = g_counters.gets.load(std::memory_order_relaxed);
   snapshot.dcas_local = g_counters.dcas_local.load(std::memory_order_relaxed);
@@ -703,6 +813,8 @@ void resetCounters() noexcept {
   g_counters.ops_aggregated.store(0, std::memory_order_relaxed);
   g_counters.handles_chained.store(0, std::memory_order_relaxed);
   g_counters.cq_drained.store(0, std::memory_order_relaxed);
+  g_counters.cq_stolen.store(0, std::memory_order_relaxed);
+  g_counters.continuations_stolen.store(0, std::memory_order_relaxed);
   g_counters.puts.store(0, std::memory_order_relaxed);
   g_counters.gets.store(0, std::memory_order_relaxed);
   g_counters.dcas_local.store(0, std::memory_order_relaxed);

@@ -21,6 +21,14 @@
 // flushes and joins them at the max simulated time -- see the class below
 // and docs/ARCHITECTURE.md for the lifecycle.
 //
+// Consumption is scheduled locale-wide: every locale owns a `DrainGroup`
+// (runtime/drain_group.hpp) that registers sibling CompletionQueues
+// (`enrollLocal()` + steal-from-any `nextAny()` draining), backs
+// `WindowMode::drain` OpWindows (completions processed as they land
+// instead of a close-time spin-join), and executes `then(fn,
+// ExecPolicy::worker)` continuation bodies on task threads so heavy
+// bodies stay off the progress threads' AM service path.
+//
 // This is the layer where CommMode matters:
 //
 //             |  CommMode::ugni              |  CommMode::none
@@ -54,6 +62,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/drain_group.hpp"
 #include "runtime/runtime.hpp"
 #include "util/backoff.hpp"
 #include "util/check.hpp"
@@ -151,6 +160,29 @@ void flushIfBuffered(HandleCore& core);
 /// Aggregator lives below).
 void flushTaskAggregatorForDrain();
 
+/// The calling locale's DrainGroup, or nullptr when no runtime is active.
+DrainGroup* localDrainGroup() noexcept;
+
+/// Queue `run` into locale `loc`'s DrainGroup for execution by one of its
+/// task threads (the ExecPolicy::worker deferral hook). Enqueue-only.
+void deferContinuationTo(std::uint32_t loc, std::function<void()> run);
+
+/// Execute one deferred continuation of the calling locale's DrainGroup,
+/// if the caller is a task thread and one is pending. Progress threads
+/// never run deferred bodies (that would put them back on the AM service
+/// path); for them -- and without a runtime -- this is a no-op.
+bool helpOneDeferred();
+
+/// Spin until `core` completes, executing deferred drain-group
+/// continuations between probes: a waiter parked on a worker-policy
+/// continuation must be able to run the body itself instead of
+/// deadlocking on an idle locale.
+void spinHelpUntilDone(HandleCore& core);
+
+/// The bounded parking slice consumers wait per probe round
+/// (RuntimeConfig::cq_park_slice_us; 200us without a runtime, never 0).
+std::chrono::microseconds cqParkSlice() noexcept;
+
 // Counter hooks for the header-only combinators (the counters themselves
 // live in comm.cpp).
 void noteAmAsync() noexcept;
@@ -158,6 +190,22 @@ void noteHandlesChained() noexcept;
 void noteCqDrained() noexcept;
 
 }  // namespace detail
+
+/// Where a `then` continuation body executes:
+///   * completer -- on whichever thread completes the parent (a progress
+///     thread for remote AMs), under a sim::TimeScope pinned to the
+///     parent's join-ready time. Cheap transforms belong here.
+///   * worker    -- deferred into the *issuing* locale's DrainGroup: the
+///     completing progress thread only enqueues, and a task thread of that
+///     locale (an idle worker, a helping join, or any comm wait/park loop)
+///     executes the body later. The executor folds the parent's join-ready
+///     time at steal time and then charges its *own* sim clock -- heavy
+///     bodies stay off the AM service path.
+///
+/// Continuation bodies must not throw under either policy: the executing
+/// thread is never the chain's owner, so there is nobody to catch it
+/// (worker-policy bodies fail fast with a checked abort).
+enum class ExecPolicy : std::uint8_t { completer, worker };
 
 template <typename T = void>
 class Handle;
@@ -205,6 +253,34 @@ struct WhenAllCtl {
   std::atomic<std::uint64_t> max_join{0};
 };
 
+/// Wrap a continuation body into a completion waiter according to the
+/// ExecPolicy. `body` is invoked with the host thread's clock already
+/// positioned on the chain's timeline and must complete the derived core
+/// itself:
+///   * completer: run inline on the completing thread under a TimeScope
+///     pinned to the parent's join-ready time (host clock undisturbed).
+///   * worker: enqueue into the issuing locale's DrainGroup; the executing
+///     task thread max-folds the join-ready time into its own clock first,
+///     so the body's charges extend the executor's timeline. Falls back to
+///     completer semantics when no runtime is active.
+template <typename Body>
+std::function<void(std::uint64_t)> routeContinuation(ExecPolicy policy,
+                                                     Body body) {
+  if (policy == ExecPolicy::worker && Runtime::active()) {
+    const std::uint32_t issuer = Runtime::here();
+    return [issuer, body = std::move(body)](std::uint64_t join) mutable {
+      deferContinuationTo(issuer, [body = std::move(body), join]() mutable {
+        sim::joinAtLeast(join);
+        body();
+      });
+    };
+  }
+  return [body = std::move(body)](std::uint64_t join) mutable {
+    sim::TimeScope at(join);
+    body();
+  };
+}
+
 }  // namespace detail
 
 /// A lightweight completion future for a non-blocking communication op.
@@ -242,9 +318,10 @@ class Handle {
   void wait() {
     PGASNB_CHECK_MSG(valid(), "wait() on an invalid comm::Handle");
     detail::flushIfBuffered(*state_);
-    spinUntil([this] {
-      return state_->done.load(std::memory_order_acquire) != 0;
-    });
+    // Spin *with helping*: the waiter executes deferred drain-group
+    // continuations between probes, so waiting on a worker-policy
+    // continuation can never deadlock on an idle locale.
+    detail::spinHelpUntilDone(*state_);
     sim::joinAtLeast(completionTime() + state_->wire_return_ns);
   }
 
@@ -266,19 +343,26 @@ class Handle {
   /// completes, invoked with the result (`const T&`; nothing for void
   /// handles). Returns a handle for the continuation's own completion.
   ///
-  /// Sim-clock semantics: the continuation executes on the thread that
-  /// completed the parent (a progress thread for remote AMs; the caller
-  /// for already-complete handles) under a sim::TimeScope pinned to the
-  /// parent's join-ready time, so everything it charges -- and every async
-  /// op it issues -- extends the *chain's* timeline, not the host
-  /// thread's. If `fn` returns a `Handle<U>` the chain flattens: the
-  /// derived handle resolves when the inner operation does, so each hop of
-  /// an async chain pays its own wire + service charge.
+  /// Sim-clock semantics depend on the ExecPolicy. Under the default
+  /// (`ExecPolicy::completer`) the continuation executes on the thread
+  /// that completed the parent (a progress thread for remote AMs; the
+  /// caller for already-complete handles) under a sim::TimeScope pinned
+  /// to the parent's join-ready time, so everything it charges -- and
+  /// every async op it issues -- extends the *chain's* timeline, not the
+  /// host thread's. Under `ExecPolicy::worker` the body is deferred into
+  /// the issuing locale's DrainGroup instead: the completing progress
+  /// thread only enqueues, and the task thread that eventually runs the
+  /// body max-folds the parent's join-ready time at steal time and then
+  /// charges its own clock. If `fn` returns a `Handle<U>` the chain
+  /// flattens either way: the derived handle resolves when the *inner*
+  /// operation does, so each hop of an async chain pays its own wire +
+  /// service charge.
   ///
-  /// Continuations must not block (they may run on a progress thread);
-  /// issue async ops and chain further instead.
+  /// Completer continuations must not block (they may run on a progress
+  /// thread); issue async ops and chain further, or use
+  /// `ExecPolicy::worker` for heavy bodies.
   template <typename F>
-  auto then(F&& fn) {
+  auto then(F&& fn, ExecPolicy policy = ExecPolicy::completer) {
     PGASNB_CHECK_MSG(valid(), "then() on an invalid comm::Handle");
     using R = typename detail::then_result<std::decay_t<F>, T>::type;
     detail::noteHandlesChained();
@@ -287,47 +371,48 @@ class Handle {
       auto derived = std::make_shared<detail::HandleState<U>>();
       derived->flush_parent = state_;
       detail::addCompletionWaiter(
-          *state_, [parent = state_, derived,
-                    fn = std::decay_t<F>(std::forward<F>(fn))](
-                       std::uint64_t join) mutable {
-            sim::TimeScope at(join);
-            R inner = detail::invokeContinuation<T>(fn, *parent);
-            PGASNB_CHECK_MSG(inner.valid(),
-                             "then(): continuation returned an invalid Handle");
-            auto inner_state = inner.state();
-            detail::addCompletionWaiter(
-                *inner_state,
-                [derived, inner_state](std::uint64_t inner_join) {
-                  if constexpr (!std::is_void_v<U>) {
-                    derived->value = inner_state->value;
-                  }
-                  detail::completeCore(*derived, inner_join);
-                });
-          });
+          *state_,
+          detail::routeContinuation(
+              policy, [parent = state_, derived,
+                       fn = std::decay_t<F>(std::forward<F>(fn))]() mutable {
+                R inner = detail::invokeContinuation<T>(fn, *parent);
+                PGASNB_CHECK_MSG(
+                    inner.valid(),
+                    "then(): continuation returned an invalid Handle");
+                auto inner_state = inner.state();
+                detail::addCompletionWaiter(
+                    *inner_state,
+                    [derived, inner_state](std::uint64_t inner_join) {
+                      if constexpr (!std::is_void_v<U>) {
+                        derived->value = inner_state->value;
+                      }
+                      detail::completeCore(*derived, inner_join);
+                    });
+              }));
       return Handle<U>(std::move(derived));
     } else if constexpr (std::is_void_v<R>) {
       auto derived = std::make_shared<detail::HandleState<void>>();
       derived->flush_parent = state_;
       detail::addCompletionWaiter(
-          *state_, [parent = state_, derived,
-                    fn = std::decay_t<F>(std::forward<F>(fn))](
-                       std::uint64_t join) mutable {
-            sim::TimeScope at(join);
-            detail::invokeContinuation<T>(fn, *parent);
-            detail::completeCore(*derived, sim::now());
-          });
+          *state_,
+          detail::routeContinuation(
+              policy, [parent = state_, derived,
+                       fn = std::decay_t<F>(std::forward<F>(fn))]() mutable {
+                detail::invokeContinuation<T>(fn, *parent);
+                detail::completeCore(*derived, sim::now());
+              }));
       return Handle<>(std::move(derived));
     } else {
       auto derived = std::make_shared<detail::HandleState<R>>();
       derived->flush_parent = state_;
       detail::addCompletionWaiter(
-          *state_, [parent = state_, derived,
-                    fn = std::decay_t<F>(std::forward<F>(fn))](
-                       std::uint64_t join) mutable {
-            sim::TimeScope at(join);
-            derived->value = detail::invokeContinuation<T>(fn, *parent);
-            detail::completeCore(*derived, sim::now());
-          });
+          *state_,
+          detail::routeContinuation(
+              policy, [parent = state_, derived,
+                       fn = std::decay_t<F>(std::forward<F>(fn))]() mutable {
+                derived->value = detail::invokeContinuation<T>(fn, *parent);
+                detail::completeCore(*derived, sim::now());
+              }));
       return Handle<R>(std::move(derived));
     }
   }
@@ -419,20 +504,61 @@ Handle<> whenAll(std::vector<Handle<T>>& handles) {
 /// since PR 4 so may consumers -- N worker tasks per locale can share one
 /// queue, each blocking in next() and waking per completion; every drained
 /// completion is delivered to exactly one consumer, which folds its join
-/// time. `nextFrom(other)` adds a work-stealing drain across two queues.
-/// Watched handles keep the queue's shared state alive, so dropping the
-/// queue with watches outstanding is safe -- the late completions are
-/// simply discarded.
+/// time. `nextFrom(other)` adds a pairwise work-stealing drain;
+/// `enrollLocal()` + `nextAny()` generalize it to the whole locale: the
+/// queue registers with its locale's DrainGroup and a consumer steals a
+/// ready completion from *any* enrolled sibling when its own queue runs
+/// empty (randomized victim order, bounded parking). Watched handles keep
+/// the queue's shared state alive, so dropping the queue with watches
+/// outstanding is safe -- the late completions are simply discarded (and
+/// the destructor unenrolls from the drain group).
 ///
 /// A consumer about to block first ships anything buffered in its *own*
 /// task Aggregator, so draining a window of aggregated ops needs no manual
 /// flushAll(). (An op buffered by a *different* task still needs that task
-/// to flush -- its wait()/OpWindow close does so automatically.)
+/// to flush -- its wait()/OpWindow close does so automatically.) While
+/// parked, consumers also execute deferred worker continuations of their
+/// locale, so a drained handle chain can never deadlock on its own body.
 class CompletionQueue {
  public:
-  CompletionQueue() : state_(std::make_shared<State>()) {}
+  CompletionQueue() : state_(std::make_shared<detail::CqShared>()) {}
   CompletionQueue(const CompletionQueue&) = delete;
   CompletionQueue& operator=(const CompletionQueue&) = delete;
+  ~CompletionQueue() {
+    if (group_ != nullptr && Runtime::active() &&
+        Runtime::get().generation() == group_generation_) {
+      group_->unenroll(state_.get());
+    }
+  }
+
+  /// Register this queue with the calling locale's DrainGroup, making it a
+  /// steal victim for -- and its consumers stealers from -- every sibling
+  /// queue enrolled on the locale. All queues enrolled on one locale share
+  /// ONE tag namespace: a stolen completion surfaces from the stealer's
+  /// nextAny() with the tag the victim's watcher chose (see
+  /// DrainGroup::enroll). Idempotent per runtime generation; requires an
+  /// active runtime. The destructor unenrolls (same generation only).
+  void enrollLocal() {
+    PGASNB_CHECK_MSG(Runtime::active(),
+                     "CompletionQueue::enrollLocal needs an active runtime");
+    DrainGroup* group = detail::localDrainGroup();
+    if (group == nullptr) return;
+    // Re-enroll after a runtime restart even when the new locale's group
+    // landed at the old address: pointer identity alone cannot prove the
+    // registration survived.
+    const std::uint64_t generation = Runtime::get().generation();
+    if (group == group_ && generation == group_generation_) return;
+    // Moving to a different group of the SAME runtime (enrollLocal called
+    // from another locale): drop the old registration first -- a queue
+    // must never be a steal victim in two groups at once, tag namespaces
+    // are per locale. A dead runtime's group is simply forgotten.
+    if (group_ != nullptr && generation == group_generation_) {
+      group_->unenroll(state_.get());
+    }
+    group->enroll(state_);
+    group_ = group;
+    group_generation_ = generation;
+  }
 
   /// Register `h`; its completion will surface from next()/tryNext() (on
   /// exactly one consumer) as `tag`. Non-blocking, charges nothing; an
@@ -440,12 +566,19 @@ class CompletionQueue {
   template <typename T>
   void watch(const Handle<T>& h, std::uint64_t tag = 0) {
     PGASNB_CHECK_MSG(h.valid(), "watch() on an invalid comm::Handle");
+    watchCore(h.state(), tag);
+  }
+
+  /// Untyped flavor of watch() for completion cores (drain-mode OpWindows
+  /// enroll their owned cores this way). Internal surface.
+  void watchCore(const std::shared_ptr<detail::HandleCore>& core,
+                 std::uint64_t tag) {
     {
       std::lock_guard<std::mutex> g(state_->lock);
       ++state_->outstanding;
     }
     detail::addCompletionWaiter(
-        *h.state(), [s = state_, tag](std::uint64_t join) {
+        *core, [s = state_, tag](std::uint64_t join) {
           {
             std::lock_guard<std::mutex> g(s->lock);
             s->ready.push_back({tag, join});
@@ -454,35 +587,24 @@ class CompletionQueue {
         });
   }
 
-  /// Pop the next completion, blocking while any watch is outstanding and
-  /// nothing is ready; folds the completion's join time into the caller's
-  /// simulated clock (max-fold). Returns the completion's tag, or nullopt
-  /// once nothing is outstanding (at which point every blocked sibling
-  /// consumer is released too). Before blocking, ships anything still
-  /// buffered in the calling task's Aggregator.
+  /// Pop the next completion, blocking (in bounded parking slices) while
+  /// any watch is outstanding and nothing is ready; folds the completion's
+  /// join time into the caller's simulated clock (max-fold). Returns the
+  /// completion's tag, or nullopt once nothing is outstanding (at which
+  /// point every blocked sibling consumer is released too). Before
+  /// parking, ships anything still buffered in the calling task's
+  /// Aggregator and helps with deferred worker continuations.
   std::optional<std::uint64_t> next() {
-    std::unique_lock<std::mutex> g(state_->lock);
-    if (state_->ready.empty() && state_->outstanding != 0) {
+    for (;;) {
+      std::uint64_t tag = 0;
+      if (tryNext(tag)) return tag;
+      if (outstanding() == 0) return std::nullopt;
       // About to go idle: a watched op still sitting in our own aggregator
       // would never ship (we are its only flusher) -- send it now.
-      g.unlock();
       detail::flushTaskAggregatorForDrain();
-      g.lock();
+      if (detail::helpOneDeferred()) continue;
+      parkOn(*this);
     }
-    state_->cv.wait(g, [&] {
-      return !state_->ready.empty() || state_->outstanding == 0;
-    });
-    if (state_->ready.empty()) return std::nullopt;
-    const auto [tag, join] = state_->ready.front();
-    state_->ready.pop_front();
-    const bool drained_out = --state_->outstanding == 0;
-    g.unlock();
-    // Release sibling consumers blocked on the now-impossible "more work
-    // will arrive" predicate.
-    if (drained_out) state_->cv.notify_all();
-    detail::noteCqDrained();
-    sim::joinAtLeast(join);
-    return tag;
   }
 
   /// Non-blocking flavor of next(); false when nothing has completed yet.
@@ -494,6 +616,8 @@ class CompletionQueue {
     state_->ready.pop_front();
     const bool drained_out = --state_->outstanding == 0;
     g.unlock();
+    // Release sibling consumers blocked on the now-impossible "more work
+    // will arrive" predicate.
     if (drained_out) state_->cv.notify_all();
     detail::noteCqDrained();
     sim::joinAtLeast(join);
@@ -511,18 +635,74 @@ class CompletionQueue {
     for (;;) {
       std::uint64_t tag = 0;
       if (tryNext(tag)) return tag;
-      if (other.tryNext(tag)) return tag;
+      if (other.tryNext(tag)) {
+        detail::noteCqStolen();
+        return tag;
+      }
       if (outstanding() == 0 && other.outstanding() == 0) return std::nullopt;
       detail::flushTaskAggregatorForDrain();
+      if (detail::helpOneDeferred()) continue;
       // Park on whichever queue can still produce for us: our own while it
       // has outstanding watches, else the victim's. Bounded wait, so a
       // completion landing only in the other queue is picked up within a
       // slice even though we hold neither lock while parked there.
-      CompletionQueue& park = outstanding() != 0 ? *this : other;
-      std::unique_lock<std::mutex> g(park.state_->lock);
-      park.state_->cv.wait_for(g, std::chrono::microseconds(200), [&] {
-        return !park.state_->ready.empty() || park.state_->outstanding == 0;
-      });
+      parkOn(outstanding() != 0 ? *this : other);
+    }
+  }
+
+  /// Locale-wide work-stealing drain: pop from this queue when something
+  /// is ready, otherwise steal a ready completion from any sibling of the
+  /// group this queue is **enrolled in** (`enrollLocal()`; without an
+  /// enrollment -- or after that runtime died -- nextAny degrades to a
+  /// plain next()-style drain of the own queue: a queue the group has no
+  /// record of must neither steal sibling tags it cannot interpret nor
+  /// wait on a group it is invisible to). Runs deferred worker
+  /// continuations while idle and parks in bounded slices while this
+  /// queue or any sibling has watches outstanding; returns nullopt once
+  /// the whole group has nothing ready, outstanding, or deferred. Stolen
+  /// joins fold into the stealer's clock, like any drain.
+  ///
+  /// Termination is a racy snapshot: with consumers that REISSUE after
+  /// draining (pop -> compute -> watch), the group can look momentarily
+  /// quiescent inside one consumer's drained->rewatched gap, letting an
+  /// idle sibling return nullopt early. No completion is ever lost -- the
+  /// reissuing consumers drain what remains -- but rewatch *before* heavy
+  /// compute when full-width parallelism matters.
+  std::optional<std::uint64_t> nextAny() {
+    DrainGroup* group = enrolledGroup();
+    for (;;) {
+      std::uint64_t tag = 0;
+      if (tryNext(tag)) return tag;
+      if (group != nullptr) {
+        detail::ReadyCompletion stolen;
+        if (group->stealReady(state_.get(), stolen)) {
+          detail::noteCqDrained();
+          sim::joinAtLeast(stolen.join);
+          return stolen.tag;
+        }
+      }
+      // Help in BOTH branches: even an unenrolled consumer may be waiting
+      // on a completion whose worker-policy body only it can run.
+      if (detail::helpOneDeferred()) continue;
+      detail::flushTaskAggregatorForDrain();
+      // Park where work can still appear: on our own queue while it has
+      // outstanding watches...
+      if (outstanding() != 0) {
+        parkOn(*this);
+        continue;
+      }
+      if (group == nullptr) return std::nullopt;
+      // ...else on a producing sibling -- a stealer with an empty own
+      // queue must sleep, not busy-probe its victims. The park probe
+      // doubles as the "any sibling outstanding?" half of the termination
+      // predicate (one registry snapshot instead of two).
+      if (group->parkOnAnySibling(state_.get(), detail::cqParkSlice())) {
+        continue;
+      }
+      if (!group->hasDeferred()) return std::nullopt;  // group quiescent
+      // Deferred work exists but we could not run it (another thread
+      // raced us to the body): bounded sleep, never a hot loop.
+      std::this_thread::sleep_for(detail::cqParkSlice());
     }
   }
 
@@ -534,13 +714,29 @@ class CompletionQueue {
   }
 
  private:
-  struct State {
-    mutable std::mutex lock;
-    std::condition_variable cv;
-    std::deque<std::pair<std::uint64_t, std::uint64_t>> ready;  // {tag, join}
-    std::size_t outstanding = 0;
-  };
-  std::shared_ptr<State> state_;
+  /// The group this queue is enrolled in, or nullptr when never enrolled
+  /// or when the runtime it enrolled under is no longer the active one
+  /// (the pointer would dangle into a dead Locale).
+  DrainGroup* enrolledGroup() const noexcept {
+    if (group_ == nullptr || !Runtime::active() ||
+        Runtime::get().generation() != group_generation_) {
+      return nullptr;
+    }
+    return group_;
+  }
+
+  /// One bounded parking slice on `q`'s condition variable (woken early by
+  /// a completion landing there or its outstanding count reaching 0).
+  static void parkOn(CompletionQueue& q) {
+    std::unique_lock<std::mutex> g(q.state_->lock);
+    q.state_->cv.wait_for(g, detail::cqParkSlice(), [&] {
+      return !q.state_->ready.empty() || q.state_->outstanding == 0;
+    });
+  }
+
+  std::shared_ptr<detail::CqShared> state_;
+  DrainGroup* group_ = nullptr;            // non-null once enrolled
+  std::uint64_t group_generation_ = 0;     // runtime generation at enroll
 };
 
 // --- remote execution -------------------------------------------------
@@ -728,6 +924,12 @@ class Aggregator {
     return loc < buckets_.size() ? buckets_[loc].ops.size() : 0;
   }
 
+  /// Monotone count of ops ever *buffered* here (never decremented at
+  /// flush). Comparing it across a code region answers "did this region
+  /// enqueue anything?" even when intervening auto-flushes restore the
+  /// pending() count -- the drain scheduler's helped-body flush gate.
+  std::uint64_t bufferedEnqueues() const noexcept { return buffered_enqueues_; }
+
   std::size_t opsPerBatch() const noexcept { return ops_per_batch_; }
 
  private:
@@ -754,6 +956,7 @@ class Aggregator {
   std::uint64_t next_age_deadline_ = kNoDeadline;
   std::uint64_t runtime_generation_ = 0;
   std::size_t total_pending_ = 0;
+  std::uint64_t buffered_enqueues_ = 0;
   std::vector<Bucket> buckets_;
 };
 
@@ -764,6 +967,20 @@ class Aggregator {
 Aggregator& taskAggregator();
 
 // --- operation windows ------------------------------------------------------
+
+/// How an OpWindow waits for its owned operations at close:
+///   * spin  -- close-time spin-join: busy-wait each owned core, then one
+///     max-fold of the set (the original discipline; no queue overhead).
+///   * drain -- the window watches every owned core into an internal
+///     (private) CompletionQueue and close *drains* it: completions are
+///     consumed (and their joins folded) as they land, `drain()` lets the
+///     caller overlap its own compute with the tail of the batch
+///     mid-window, and the close-time wait parks in bounded slices and
+///     helps execute the locale's deferred continuations instead of
+///     spinning. Same max-fold arithmetic either way. The internal queue
+///     is NOT enrolled in the DrainGroup -- its tags are window-internal
+///     indices, and enrolled queues share the locale's tag namespace.
+enum class WindowMode : std::uint8_t { spin, drain };
 
 /// An RAII scope owning a set of in-flight asynchronous operations --
 /// above all *aggregated* ones. While a window is open on a thread, every
@@ -792,11 +1009,20 @@ Aggregator& taskAggregator();
 /// add and join assert this). Fire-and-forget aggregated ops (plain
 /// enqueue(), buffered retires) have no completion to own: the window
 /// guarantees they *ship* at close, not that they have been serviced.
+///
+/// A `WindowMode::drain` window replaces the close-time spin-join with a
+/// CompletionQueue-backed drain: owned ops are watched into an internal
+/// private queue, `drain()` absorbs the finished head of the batch
+/// mid-window so the caller's compute overlaps the tail, and close
+/// consumes the queue to quiescence -- parking in bounded slices and
+/// helping the locale's deferred continuations -- before the same
+/// one-max-fold of the set.
 class OpWindow {
  public:
   /// Open a window and make it the innermost on this thread. Charges
-  /// nothing.
-  OpWindow();
+  /// nothing. A `WindowMode::drain` window additionally owns a private
+  /// CompletionQueue that every enrolled op is watched into.
+  explicit OpWindow(WindowMode mode = WindowMode::spin);
   /// Close (join()) if still open: flush + wait-all, even when unwinding.
   ~OpWindow();
   OpWindow(const OpWindow&) = delete;
@@ -819,9 +1045,18 @@ class OpWindow {
   /// accepts enrollments.
   void join();
 
+  /// Drain-mode only: consume every completion that has already landed in
+  /// the window's queue (never blocks), folding each join-ready time into
+  /// the caller's clock as it goes -- the mid-window overlap hook: call it
+  /// between bursts of compute to absorb the finished head of the batch
+  /// while the tail is still in flight. Returns how many completions were
+  /// consumed.
+  std::size_t drain();
+
   /// Operations owned and not yet joined. / Whether join() has not run yet.
   std::size_t inFlight() const noexcept { return cores_.size(); }
   bool open() const noexcept { return open_; }
+  WindowMode mode() const noexcept { return mode_; }
 
   /// The innermost open window on the calling thread (nullptr outside any
   /// window scope). Aggregators use this to auto-enroll handle-carrying ops.
@@ -832,9 +1067,13 @@ class OpWindow {
 
  private:
   std::vector<std::shared_ptr<detail::HandleCore>> cores_;
+  /// Drain mode: the private internal queue the owned cores are watched
+  /// into (reset at join). Never group-enrolled -- see WindowMode.
+  std::unique_ptr<CompletionQueue> cq_;
   OpWindow* parent_ = nullptr;
   std::thread::id owner_;
   std::uint64_t runtime_generation_ = 0;
+  WindowMode mode_ = WindowMode::spin;
   bool open_ = true;
 };
 
@@ -850,6 +1089,10 @@ struct Counters {
   std::uint64_t ops_aggregated = 0;  ///< logical ops routed through Aggregators
   std::uint64_t handles_chained = 0; ///< combinator handles (then/whenAll)
   std::uint64_t cq_drained = 0;      ///< completions popped from CompletionQueues
+  std::uint64_t cq_stolen = 0;       ///< completions taken from a sibling queue
+                                     ///< (nextFrom / DrainGroup::stealReady)
+  std::uint64_t continuations_stolen = 0;  ///< deferred ExecPolicy::worker
+                                           ///< bodies executed by task threads
   std::uint64_t puts = 0;
   std::uint64_t gets = 0;
   std::uint64_t dcas_local = 0;

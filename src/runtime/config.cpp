@@ -91,6 +91,10 @@ RuntimeConfig RuntimeConfig::fromEnv() {
   if (const char* v = envOrNull("PGASNB_AGG_MAX_BATCH_AGE")) {
     cfg.aggregator_max_batch_age_ns = std::strtoull(v, nullptr, 0);
   }
+  if (const char* v = envOrNull("PGASNB_CQ_PARK_SLICE")) {
+    cfg.cq_park_slice_us =
+        static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+  }
   return cfg;
 }
 

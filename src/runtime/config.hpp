@@ -80,6 +80,14 @@ struct RuntimeConfig {
   /// batch-full/unpin. 0 disables age-based flushing.
   std::uint64_t aggregator_max_batch_age_ns = 100'000;
 
+  /// Completion-surface parking slice (*wall-clock* microseconds): how long
+  /// a CompletionQueue consumer (next/nextAny/nextFrom) parks per slice
+  /// before re-probing for steals / deferred continuations. Smaller = more
+  /// responsive stealing, more wakeups; 0 is clamped to 1. (Idle locale
+  /// workers don't poll on this -- they block on their task queue and are
+  /// woken by the drain group's wake hook.)
+  std::uint32_t cq_park_slice_us = 200;
+
   LatencyModel latency{};
 
   /// When true, communication costs are also *physically* injected as
@@ -93,7 +101,7 @@ struct RuntimeConfig {
   /// Reads PGASNB_NUM_LOCALES, PGASNB_COMM_MODE, PGASNB_WORKERS,
   /// PGASNB_INJECT_DELAYS, PGASNB_DELAY_SCALE, PGASNB_REMOTE_RETIRE,
   /// PGASNB_RETIRE_BATCH, PGASNB_AGG_OPS_PER_BATCH,
-  /// PGASNB_AGG_MAX_BATCH_AGE on top of the defaults.
+  /// PGASNB_AGG_MAX_BATCH_AGE, PGASNB_CQ_PARK_SLICE on top of the defaults.
   static RuntimeConfig fromEnv();
 
   std::string describe() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/comm.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/sim_clock.hpp"
 #include "util/backoff.hpp"
@@ -25,10 +26,13 @@ bool TaskQueue::tryPop(TaskItem& out) {
   return true;
 }
 
-bool TaskQueue::popOrWait(TaskItem& out, const std::atomic<bool>& stop) {
+bool TaskQueue::popOrWaitFor(TaskItem& out, const std::atomic<bool>& stop,
+                             std::chrono::microseconds slice,
+                             const std::function<bool()>* extra_wake) {
   std::unique_lock<std::mutex> guard(lock_);
-  cv_.wait(guard, [&] {
-    return !queue_.empty() || stop.load(std::memory_order_acquire);
+  cv_.wait_for(guard, slice, [&] {
+    return !queue_.empty() || stop.load(std::memory_order_acquire) ||
+           (extra_wake != nullptr && (*extra_wake)());
   });
   if (queue_.empty()) return false;
   out = std::move(queue_.front());
@@ -36,7 +40,16 @@ bool TaskQueue::popOrWait(TaskItem& out, const std::atomic<bool>& stop) {
   return true;
 }
 
-void TaskQueue::notifyAll() { cv_.notify_all(); }
+void TaskQueue::notifyAll() {
+  // The states this broadcast signals (stop_, the drain group's deferred
+  // queue) are NOT guarded by lock_, so without this empty critical
+  // section the notify could land between a waiter's predicate check and
+  // its block and be lost: acquiring lock_ orders us after any in-progress
+  // predicate evaluation, so the waiter is either already blocked (and our
+  // notify wakes it) or will see the new state when it evaluates.
+  { std::lock_guard<std::mutex> guard(lock_); }
+  cv_.notify_all();
+}
 
 std::size_t TaskQueue::sizeApprox() const {
   std::lock_guard<std::mutex> guard(lock_);
@@ -114,6 +127,12 @@ void TaskGroup::wait() {
     }
     if (found) {
       executeTaskInline(stolen);
+      backoff.reset();
+    } else if (comm::detail::helpOneDeferred()) {
+      // No queued task to help with: execute a deferred worker
+      // continuation instead of burning the spin budget (the helper also
+      // flushes whatever the body buffered into this thread's aggregator
+      // and excludes progress threads itself).
       backoff.reset();
     } else {
       backoff.pause();

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,7 +49,15 @@ class TaskQueue {
  public:
   void push(TaskItem&& item);
   bool tryPop(TaskItem& out);
-  bool popOrWait(TaskItem& out, const std::atomic<bool>& stop);
+  /// Bounded blocking pop: parks at most `slice`, woken early by pushes,
+  /// stop, or -- when `extra_wake` is non-null -- that predicate turning
+  /// true under a notifyAll() (worker threads pass "the drain group has
+  /// deferred continuations", and the group's wake hook does the notify).
+  /// Returns false whenever nothing was popped (timeout, stop, or an
+  /// extra_wake wakeup); the caller inspects its own conditions.
+  bool popOrWaitFor(TaskItem& out, const std::atomic<bool>& stop,
+                    std::chrono::microseconds slice,
+                    const std::function<bool()>* extra_wake = nullptr);
   void notifyAll();
   std::size_t sizeApprox() const;
 

@@ -232,6 +232,33 @@ TEST_F(CommAsyncTest, CompletionQueueDrainsInFifoCompletionOrder) {
   EXPECT_EQ(comm::counters().cq_drained, 2u);
 }
 
+TEST_F(CommAsyncTest, StealAndContinuationCountersSnapshotAndReset) {
+  startRuntime(2);
+  // One pairwise steal: everything lands in `other`, so nextFrom must take
+  // it from there.
+  comm::CompletionQueue mine;
+  comm::CompletionQueue other;
+  auto h = comm::amAsyncHandle(1, [] {});
+  h.wait();
+  other.watch(h, 1);
+  ASSERT_TRUE(mine.nextFrom(other).has_value());
+  // One stolen continuation: the worker-policy body is deferred into the
+  // drain group and executed by a task thread (the waiter helps).
+  std::atomic<int> ran{0};
+  comm::amAsyncHandle(1, [] {})
+      .then([&ran] { ran.fetch_add(1); }, comm::ExecPolicy::worker)
+      .wait();
+  EXPECT_EQ(ran.load(), 1);
+  const comm::Counters snap = comm::counters();
+  EXPECT_EQ(snap.cq_stolen, 1u);
+  EXPECT_GE(snap.continuations_stolen, 1u);
+  comm::resetCounters();
+  const comm::Counters zeroed = comm::counters();
+  EXPECT_EQ(zeroed.cq_stolen, 0u);
+  EXPECT_EQ(zeroed.continuations_stolen, 0u);
+  EXPECT_EQ(zeroed.cq_drained, 0u);
+}
+
 TEST_F(CommAsyncTest, CompletionQueueWatchAfterCompletionStillDelivers) {
   startRuntime(2);
   auto h = comm::amAsyncHandle(1, [] {});
