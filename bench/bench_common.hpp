@@ -63,6 +63,52 @@ class FigureTable {
   TablePrinter table_;
 };
 
+/// Per-op latency accounting shared by the workload benches: record each
+/// op's model-time latency (ns), read off p50/p95/p99 at the end. Latencies
+/// here are simulated-clock durations (issue -> completion), so percentile
+/// tails reflect the interconnect model, not host scheduling noise.
+class LatencyRecorder {
+ public:
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  void record(double ns) { samples_.push_back(ns); }
+
+  /// Convenience for handle-based drivers: completion minus issue time.
+  void recordSpan(std::uint64_t issue_ns, std::uint64_t complete_ns) {
+    record(static_cast<double>(complete_ns - issue_ns));
+  }
+
+  /// Merge another recorder's samples (per-task recorders -> one report).
+  void merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  double p50() const { return percentileNs(0.50); }
+  double p95() const { return percentileNs(0.95); }
+  double p99() const { return percentileNs(0.99); }
+
+  /// q in [0, 1]; returns ns (0 when empty). Sorts a copy via
+  /// pgasnb::percentile, so call at report time, not per op.
+  double percentileNs(double q) const {
+    if (samples_.empty()) return 0.0;
+    return percentile(samples_, q);
+  }
+
+  /// "p50=1.2us p95=3.4us p99=7.8us" -- the notes-column spelling.
+  std::string summary() const {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "p50=%.1fus p95=%.1fus p99=%.1fus",
+                  p50() * 1e-3, p95() * 1e-3, p99() * 1e-3);
+    return buf;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
 struct BenchOptions {
   double scale = 1.0;
   std::uint32_t max_locales = 64;

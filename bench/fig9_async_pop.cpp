@@ -39,6 +39,7 @@
 #include "bench_common.hpp"
 
 #include <cinttypes>
+#include <mutex>
 
 namespace {
 
@@ -64,6 +65,10 @@ struct ModeResult {
   pgasnb::bench::Measurement m;
   std::uint64_t handles_chained = 0;
   std::uint64_t cq_drained = 0;
+  // Per-pop issue->completion latency (windowed mode only): the same
+  // LatencyRecorder the ycsb_like harness uses, so the fig9 notes carry
+  // p50/p95/p99 of the batch-resolved pops too.
+  pgasnb::bench::LatencyRecorder lat;
 };
 
 ModeResult runMode(PopMode mode, std::uint32_t locales,
@@ -86,9 +91,11 @@ ModeResult runMode(PopMode mode, std::uint32_t locales,
 
   const comm::Counters before = comm::counters();
   std::atomic<std::uint64_t> popped{0};
+  std::mutex lat_mu;
   ModeResult result;
   result.m = bench::timed([&] {
-    coforallLocales([domain, stack, mode, pops_per_locale, &popped] {
+    coforallLocales([domain, stack, mode, pops_per_locale, &popped, &lat_mu,
+                     &result] {
       auto guard = domain.pin();
       std::uint64_t got = 0;
       switch (mode) {
@@ -141,22 +148,36 @@ ModeResult runMode(PopMode mode, std::uint32_t locales,
         case PopMode::windowed: {
           // Same batched pops, owned by an OpWindow: no flushAll anywhere.
           // The acceptance bar below demands parity with `batched` -- the
-          // convenience must be free in model time.
+          // convenience must be free in model time. Per-pop latency
+          // (issue -> batch completion) rides the shared LatencyRecorder.
           constexpr std::uint64_t kWindow = 64;
           std::uint64_t remaining = pops_per_locale;
           std::vector<comm::Handle<std::optional<std::uint64_t>>> handles;
+          std::vector<std::uint64_t> issue;
+          bench::LatencyRecorder local_lat;
+          local_lat.reserve(pops_per_locale);
           while (remaining > 0) {
             const std::uint64_t n = std::min(kWindow, remaining);
             handles.clear();
             handles.reserve(n);
+            issue.clear();
             {
               comm::OpWindow window;
               for (std::uint64_t i = 0; i < n; ++i) {
+                issue.push_back(sim::now());
                 handles.push_back(stack->popAsyncAggregated(guard));
               }
             }  // close: auto-flush + join at the max sim-time
-            for (auto& h : handles) got += h.value().has_value() ? 1 : 0;
+            for (std::uint64_t i = 0; i < n; ++i) {
+              got += handles[i].value().has_value() ? 1 : 0;
+              const std::uint64_t done = handles[i].completionTime();
+              local_lat.recordSpan(std::min(issue[i], done), done);
+            }
             remaining -= n;
+          }
+          {
+            std::lock_guard<std::mutex> hold(lat_mu);
+            result.lat.merge(local_lat);
           }
           break;
         }
@@ -221,10 +242,17 @@ int main(int argc, char** argv) {
     for (PopMode mode : kModes) {
       const ModeResult r =
           runMode(mode, locales, pops_per_locale, opts.tasks_per_locale);
-      char notes[128];
-      std::snprintf(notes, sizeof(notes),
-                    "handles_chained=%" PRIu64 " cq_drained=%" PRIu64,
-                    r.handles_chained, r.cq_drained);
+      char notes[224];
+      if (r.lat.count() > 0) {
+        std::snprintf(notes, sizeof(notes),
+                      "handles_chained=%" PRIu64 " cq_drained=%" PRIu64 " %s",
+                      r.handles_chained, r.cq_drained,
+                      r.lat.summary().c_str());
+      } else {
+        std::snprintf(notes, sizeof(notes),
+                      "handles_chained=%" PRIu64 " cq_drained=%" PRIu64,
+                      r.handles_chained, r.cq_drained);
+      }
       table.addRow(toString(mode), locales, r.m, notes);
       if (locales == 8) {
         if (mode == PopMode::blocking) {

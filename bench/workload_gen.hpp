@@ -1,0 +1,146 @@
+// Workload generation for the YCSB-style benches: key distributions and
+// operation-mix knobs, kept separate from the harness so tests can reuse
+// them.
+//
+//   * UniformGen   -- uniform keys over [0, n)
+//   * ZipfianGen   -- Zipf(theta) over [0, n) via Gray's rejection-free
+//                     inversion (the YCSB generator): one zeta(n, theta)
+//                     precompute, O(1) per draw. Ranks are scrambled with a
+//                     64-bit mix so the hottest keys are spread over the
+//                     key space (and therefore over owning locales) instead
+//                     of clustering at 0..k -- skew stresses *contention*,
+//                     not one unlucky locale's arena.
+//   * MixSpec      -- read/update/insert op-mix ratios (YCSB A/B/C shapes)
+//   * SweepSpec    -- load-factor x table-size sweep points
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pgasnb.hpp"
+
+namespace pgasnb::bench {
+
+/// Uniform keys over [0, n).
+class UniformGen {
+ public:
+  UniformGen(std::uint64_t n, std::uint64_t seed) : n_(n), rng_(seed) {}
+
+  std::uint64_t next() { return rng_.nextBelow(n_); }
+
+ private:
+  std::uint64_t n_;
+  Xoshiro256 rng_;
+};
+
+/// Zipf-distributed ranks over [0, n), scrambled across the key space.
+///
+/// Implements the YCSB ZipfianGenerator (Gray et al., "Quickly Generating
+/// Billion-Record Synthetic Databases"): draw u ~ U(0,1), invert through
+/// the zeta-based CDF approximation. theta in (0, 1); YCSB's default skew
+/// is theta = 0.99, where ~50% of draws hit the hottest ~1% of keys.
+class ZipfianGen {
+ public:
+  ZipfianGen(std::uint64_t n, double theta, std::uint64_t seed)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  /// A scrambled Zipf draw: hot ranks land on pseudo-random keys.
+  std::uint64_t next() { return scramble(nextRank()); }
+
+  /// The raw rank (0 = hottest). Exposed so tests can check the skew.
+  std::uint64_t nextRank() {
+    const double u = rng_.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  /// Rank -> key-space position, stable for a given n (an invertible mix
+  /// reduced mod n): every generator instance maps rank r to the same key,
+  /// so skew is coherent across locales and phases.
+  std::uint64_t scramble(std::uint64_t rank) const {
+    std::uint64_t s = rank;
+    return splitmix64(s) % n_;
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  Xoshiro256 rng_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+/// Which key distribution a workload cell uses.
+enum class KeyDist : std::uint8_t { uniform, zipfian };
+
+inline const char* toString(KeyDist d) {
+  return d == KeyDist::uniform ? "uniform" : "zipfian";
+}
+
+/// Operation-mix ratios (must sum to 1). The YCSB-shaped presets:
+///   A (update-heavy) 50/50 read/update, B (read-heavy) 95/5,
+///   C (read-only) 100/0; the insert-mix adds blind inserts of fresh keys.
+struct MixSpec {
+  const char* name = "";
+  double read = 0.0;
+  double update = 0.0;
+  double insert = 0.0;
+};
+
+inline constexpr MixSpec kReadHeavyMix{"read-heavy", 0.95, 0.05, 0.0};
+inline constexpr MixSpec kUpdateHeavyMix{"update-heavy", 0.50, 0.50, 0.0};
+inline constexpr MixSpec kInsertMix{"insert-mix", 0.50, 0.25, 0.25};
+
+/// Per-op decision from a mix: 0 = read, 1 = update, 2 = insert.
+inline int pickOp(const MixSpec& mix, Xoshiro256& rng) {
+  const double u = rng.nextDouble();
+  if (u < mix.read) return 0;
+  if (u < mix.read + mix.update) return 1;
+  return 2;
+}
+
+/// One load-factor / table-size sweep point for capacity studies.
+struct SweepPoint {
+  std::uint64_t table_slots = 0;
+  double load_factor = 0.0;
+
+  std::uint64_t prefill() const {
+    return static_cast<std::uint64_t>(static_cast<double>(table_slots) *
+                                      load_factor);
+  }
+};
+
+/// Cross product of table sizes and load factors, for stress sweeps.
+inline std::vector<SweepPoint> sweepGrid(
+    const std::vector<std::uint64_t>& sizes,
+    const std::vector<double>& load_factors) {
+  std::vector<SweepPoint> grid;
+  for (std::uint64_t s : sizes) {
+    for (double lf : load_factors) grid.push_back({s, lf});
+  }
+  return grid;
+}
+
+}  // namespace pgasnb::bench

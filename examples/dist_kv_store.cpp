@@ -1,16 +1,114 @@
-// Distributed key-value store over the InterlockedHashTable.
+// Distributed key-value store over the library's hash tables.
 //
 //   ./examples/dist_kv_store [--locales=N] [--keys=K] [--ops=M]
+//                            [--table=robinhood|iht]
 //
 // A mixed get/put/delete workload (the YCSB-ish 90/5/5 read-mostly mix)
-// runs from every locale against a bucket array distributed across all
-// locales; removed entries are reclaimed concurrently through the shared
-// DistDomain. Prints throughput and a final consistency audit.
+// runs from every locale. The default store is the RobinHoodMap: gets are
+// *windowed aggregated lookups* -- each window's get keys go out as one
+// findBatch (one batched op per owning locale), puts/deletes ride the
+// aggregated per-op path in the same comm::OpWindow, and the window close
+// joins the whole batch at its max simulated time. `--table=iht` keeps the
+// original InterlockedHashTable path: synchronous per-op active messages
+// with removed entries reclaimed through the shared DistDomain. Prints
+// throughput and a final consistency audit either way.
 #include <cstdio>
+#include <vector>
 
 #include "pgasnb.hpp"
 
 using namespace pgasnb;
+
+namespace {
+
+struct MixCounters {
+  std::atomic<std::uint64_t> gets{0}, hits{0}, puts{0}, dels{0};
+};
+
+/// RobinHoodMap mixed phase: windows of 64 ops, gets batched per owner
+/// through findBatch, puts/deletes aggregated in the same window. Deletes
+/// re-put the key afterwards (enqueue order per destination is preserved
+/// within the window), so the audit invariant stays: present => value==2*key.
+void runRobinHoodMix(RobinHoodMap<std::uint64_t> store, std::uint64_t keys,
+                     std::uint64_t ops, MixCounters& counters) {
+  coforallLocales([store, keys, ops, &counters] {
+    Xoshiro256 rng(Runtime::here() * 0x9E3779B9 + 1);
+    const std::uint64_t per_locale = ops / Runtime::get().numLocales();
+    constexpr std::uint64_t kWindow = 64;
+    std::vector<std::uint64_t> get_keys;
+    std::vector<std::optional<std::uint64_t>> get_results;
+    std::uint64_t remaining = per_locale;
+    while (remaining > 0) {
+      const std::uint64_t n = std::min(kWindow, remaining);
+      get_keys.clear();
+      {
+        comm::OpWindow window;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const std::uint64_t key = rng.nextBelow(keys);
+          const double dice = rng.nextDouble();
+          if (dice < 0.90) {
+            get_keys.push_back(key);
+          } else if (dice < 0.95) {
+            counters.puts.fetch_add(1, std::memory_order_relaxed);
+            (void)store.putAsyncAggregated(key, key * 2);
+          } else {
+            counters.dels.fetch_add(1, std::memory_order_relaxed);
+            (void)store.eraseAsyncAggregated(key);
+            // Same destination, later in the same batch: executes after
+            // the erase, so the key ends the window present and correct.
+            (void)store.putAsyncAggregated(key, key * 2);
+          }
+        }
+        // One batched lookup op per owning locale for the window's gets.
+        get_results.assign(get_keys.size(), std::nullopt);
+        if (!get_keys.empty()) {
+          window.add(store.findBatch(get_keys, get_results));
+        }
+      }  // close: auto-flush + join; results are safe to read now
+      counters.gets.fetch_add(get_keys.size(), std::memory_order_relaxed);
+      for (std::size_t i = 0; i < get_keys.size(); ++i) {
+        if (get_results[i].has_value()) {
+          counters.hits.fetch_add(1, std::memory_order_relaxed);
+          PGASNB_CHECK_MSG(*get_results[i] == get_keys[i] * 2,
+                           "corrupt value observed");
+        }
+      }
+      remaining -= n;
+    }
+  });
+}
+
+/// Original InterlockedHashTable mixed phase: synchronous per-op AMs.
+void runIhtMix(InterlockedHashTable<std::uint64_t> store, DistDomain domain,
+               std::uint64_t keys, std::uint64_t ops, MixCounters& counters) {
+  coforallLocales([&counters, domain, store, keys, ops] {
+    auto guard = domain.attach();
+    Xoshiro256 rng(Runtime::here() * 0x9E3779B9 + 1);
+    const std::uint64_t per_locale = ops / Runtime::get().numLocales();
+    for (std::uint64_t i = 0; i < per_locale; ++i) {
+      const std::uint64_t key = rng.nextBelow(keys);
+      const double dice = rng.nextDouble();
+      if (dice < 0.90) {
+        counters.gets.fetch_add(1, std::memory_order_relaxed);
+        if (auto v = store.find(key)) {
+          counters.hits.fetch_add(1, std::memory_order_relaxed);
+          PGASNB_CHECK_MSG(*v == key * 2, "corrupt value observed");
+        }
+      } else if (dice < 0.95) {
+        counters.puts.fetch_add(1, std::memory_order_relaxed);
+        store.insert(key, key * 2);  // no-op if present
+      } else {
+        counters.dels.fetch_add(1, std::memory_order_relaxed);
+        if (store.erase(key).has_value()) {
+          store.insert(key, key * 2);  // put it back, value unchanged
+        }
+      }
+      if (i % 512 == 0) guard.tryReclaim();
+    }
+  });
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Options opts(argc, argv);
@@ -21,49 +119,44 @@ int main(int argc, char** argv) {
   Runtime rt(cfg);
   const auto keys = static_cast<std::uint64_t>(opts.integer("keys", 4096));
   const auto ops = static_cast<std::uint64_t>(opts.integer("ops", 20000));
+  const std::string table = opts.str("table", "robinhood");
+  const bool use_iht = table == "iht";
+  PGASNB_CHECK_MSG(use_iht || table == "robinhood",
+                   "--table must be robinhood or iht");
 
   DistDomain domain = DistDomain::create();
-  auto store = InterlockedHashTable<std::uint64_t>::create(
-      /*num_buckets=*/keys / 4 + 1, domain);
+  RobinHoodMap<std::uint64_t> rh_store;
+  InterlockedHashTable<std::uint64_t> iht_store;
+  if (use_iht) {
+    iht_store = InterlockedHashTable<std::uint64_t>::create(
+        /*num_buckets=*/keys / 4 + 1, domain);
+  } else {
+    rh_store = RobinHoodMap<std::uint64_t>::create(/*capacity=*/keys * 2,
+                                                   domain);
+  }
 
   // Load phase: populate every key with value = key * 2.
   forallHere(keys, cfg.workers_per_locale, [&](std::uint64_t k) {
-    store.insert(k, k * 2);
-  });
-  std::printf("loaded %llu keys into %llu buckets over %u locales\n",
-              static_cast<unsigned long long>(store.sizeApprox()),
-              static_cast<unsigned long long>(store.numBuckets()),
-              cfg.num_locales);
-
-  // Mixed phase: every locale runs the 90/5/5 mix. Deletes re-insert
-  // immediately after, so the audit stays simple: present => value==2*key.
-  std::atomic<std::uint64_t> gets{0}, hits{0}, puts{0}, dels{0};
-  const auto t0 = std::chrono::steady_clock::now();
-  coforallLocales([&, domain, store] {
-    auto guard = domain.attach();
-    Xoshiro256 rng(Runtime::here() * 0x9E3779B9 + 1);
-    const std::uint64_t per_locale = ops / Runtime::get().numLocales();
-    for (std::uint64_t i = 0; i < per_locale; ++i) {
-      const std::uint64_t key = rng.nextBelow(keys);
-      const double dice = rng.nextDouble();
-      if (dice < 0.90) {
-        gets.fetch_add(1, std::memory_order_relaxed);
-        if (auto v = store.find(key)) {
-          hits.fetch_add(1, std::memory_order_relaxed);
-          PGASNB_CHECK_MSG(*v == key * 2, "corrupt value observed");
-        }
-      } else if (dice < 0.95) {
-        puts.fetch_add(1, std::memory_order_relaxed);
-        store.insert(key, key * 2);  // no-op if present
-      } else {
-        dels.fetch_add(1, std::memory_order_relaxed);
-        if (store.erase(key).has_value()) {
-          store.insert(key, key * 2);  // put it back, value unchanged
-        }
-      }
-      if (i % 512 == 0) guard.tryReclaim();
+    if (use_iht) {
+      iht_store.insert(k, k * 2);
+    } else {
+      rh_store.insert(k, k * 2);
     }
   });
+  const std::uint64_t loaded =
+      use_iht ? iht_store.sizeApprox() : rh_store.sizeApprox();
+  std::printf("loaded %llu keys into the %s store over %u locales\n",
+              static_cast<unsigned long long>(loaded), table.c_str(),
+              cfg.num_locales);
+
+  // Mixed phase: every locale runs the 90/5/5 mix.
+  MixCounters counters;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (use_iht) {
+    runIhtMix(iht_store, domain, keys, ops, counters);
+  } else {
+    runRobinHoodMix(rh_store, keys, ops, counters);
+  }
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -71,21 +164,28 @@ int main(int argc, char** argv) {
   // Audit: every present key must map to exactly 2*key.
   std::atomic<std::uint64_t> present{0};
   forallHere(keys, cfg.workers_per_locale, [&](std::uint64_t k) {
-    if (auto v = store.find(k)) {
+    const auto v = use_iht ? iht_store.find(k) : rh_store.find(k);
+    if (v) {
       PGASNB_CHECK_MSG(*v == k * 2, "audit: corrupt value");
       present.fetch_add(1, std::memory_order_relaxed);
     }
   });
+  if (!use_iht) {
+    PGASNB_CHECK_MSG(rh_store.validateInvariants(),
+                     "audit: Robin Hood invariants violated");
+  }
 
   const auto stats = domain.stats();
   std::printf("mixed phase: %llu gets (%.1f%% hit), %llu puts, %llu dels in "
               "%.3fs (%.0f ops/s)\n",
-              static_cast<unsigned long long>(gets.load()),
-              100.0 * static_cast<double>(hits.load()) /
-                  std::max<std::uint64_t>(1, gets.load()),
-              static_cast<unsigned long long>(puts.load()),
-              static_cast<unsigned long long>(dels.load()), secs,
-              static_cast<double>(gets.load() + puts.load() + dels.load()) /
+              static_cast<unsigned long long>(counters.gets.load()),
+              100.0 * static_cast<double>(counters.hits.load()) /
+                  std::max<std::uint64_t>(1, counters.gets.load()),
+              static_cast<unsigned long long>(counters.puts.load()),
+              static_cast<unsigned long long>(counters.dels.load()), secs,
+              static_cast<double>(counters.gets.load() +
+                                  counters.puts.load() +
+                                  counters.dels.load()) /
                   secs);
   std::printf("audit: %llu/%llu keys present, all values consistent\n",
               static_cast<unsigned long long>(present.load()),
@@ -93,7 +193,11 @@ int main(int argc, char** argv) {
   std::printf("reclaim domain: deferred=%llu reclaimed(after clear)=",
               static_cast<unsigned long long>(stats.deferred));
 
-  store.destroy();
+  if (use_iht) {
+    iht_store.destroy();
+  } else {
+    rh_store.destroy();
+  }
   domain.clear();
   std::printf("%llu\n",
               static_cast<unsigned long long>(domain.stats().reclaimed));

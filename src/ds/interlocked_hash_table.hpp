@@ -139,6 +139,57 @@ class InterlockedHashTable {
     return out;
   }
 
+  // --- asynchronous surface (handle-returning) -----------------------------
+  //
+  // Each op ships to the key's owning locale as ONE async AM and returns a
+  // handle immediately; the handler runs under the progress thread's cached
+  // epoch guard (DistDomain::threadGuard -- one token registration per
+  // (progress thread, domain), pinned per handler). Local keys run in place
+  // and return an already-ready handle. These give the workload harness the
+  // same handle-based interface as RobinHoodMap, so both tables can be
+  // driven through comm::OpWindow joins.
+
+  comm::Handle<bool> insertAsync(std::uint64_t key, const V& value) const {
+    return shipOp<bool>(
+        key, [key, value](Shard& shard, std::uint64_t lb, Guard& guard) {
+          return shard.buckets[lb].insert(guard, key, value);
+        });
+  }
+
+  comm::Handle<std::optional<V>> findAsync(std::uint64_t key) const {
+    return shipOp<std::optional<V>>(
+        key, [key](Shard& shard, std::uint64_t lb, Guard& guard) {
+          return shard.buckets[lb].find(guard, key);
+        });
+  }
+
+  comm::Handle<bool> containsAsync(std::uint64_t key) const {
+    return shipOp<bool>(
+        key, [key](Shard& shard, std::uint64_t lb, Guard& guard) {
+          return shard.buckets[lb].find(guard, key).has_value();
+        });
+  }
+
+  comm::Handle<std::optional<V>> eraseAsync(std::uint64_t key) const {
+    return shipOp<std::optional<V>>(
+        key, [key](Shard& shard, std::uint64_t lb, Guard& guard) {
+          return shard.buckets[lb].remove(guard, key);
+        });
+  }
+
+  /// Upsert through one shipped handler: remove-then-insert on the owning
+  /// locale (the bucket list has no in-place assign). Returns true when the
+  /// key was newly inserted, false when an existing value was replaced.
+  comm::Handle<bool> updateAsync(std::uint64_t key, const V& value) const {
+    return shipOp<bool>(
+        key, [key, value](Shard& shard, std::uint64_t lb, Guard& guard) {
+          const bool was_present =
+              shard.buckets[lb].remove(guard, key).has_value();
+          shard.buckets[lb].insert(guard, key, value);
+          return !was_present;
+        });
+  }
+
   /// Total element count (quiescent-exact, otherwise approximate).
   std::uint64_t sizeApprox() const {
     if constexpr (Domain::kDistributed) {
@@ -176,6 +227,33 @@ class InterlockedHashTable {
       });
     } else {
       fn(*local_shard_, local_bucket);
+    }
+  }
+
+  /// Ship `op(shard, local_bucket, guard)` -> R to the key's owner as one
+  /// async AM (progress-thread cached guard); local owners run inline
+  /// under a freshly pinned guard and return a ready handle.
+  template <typename R, typename Op>
+  comm::Handle<R> shipOp(std::uint64_t key, Op op) const {
+    const std::uint64_t bucket = detail::ihtHash(key) % num_buckets_;
+    const std::uint64_t local_bucket = bucket / num_locales_;
+    if constexpr (Domain::kDistributed) {
+      const auto owner = static_cast<std::uint32_t>(bucket % num_locales_);
+      auto shards = shards_;
+      if (owner != Runtime::here()) {
+        return comm::amAsyncValue<R>(
+            owner, [shards, local_bucket, op = std::move(op)] {
+              Shard& shard = shards.local();
+              PinScope<Guard> pin(shard.dom().threadGuard());
+              return op(shard, local_bucket, pin.guard());
+            });
+      }
+      Shard& shard = shards.local();
+      Guard guard = shard.dom().pin();
+      return comm::readyValueHandle(op(shard, local_bucket, guard));
+    } else {
+      Guard guard = local_shard_->dom().pin();
+      return comm::readyValueHandle(op(*local_shard_, local_bucket, guard));
     }
   }
 

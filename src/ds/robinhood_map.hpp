@@ -1,0 +1,780 @@
+// RobinHoodMap: a distributed open-addressed hash table with Robin Hood
+// probing -- the successor to InterlockedHashTable's closed chaining.
+//
+// Layout. The slot array is partitioned into one *contiguous segment per
+// locale*, each living entirely in its owner's arena. A key's hash picks a
+// global home slot; the segment containing that home slot is the key's
+// owner, and the probe sequence wraps *within* that segment (segments are
+// independent Robin Hood tables, so displacement never crosses a locale
+// boundary -- the distributed analogue of per-bucket locality). Slots are
+// 16-byte (key, value) pairs accessed with the same double-word atomics the
+// DCAS layer uses, so readers always observe a slot atomically.
+//
+// Probing discipline. Entries are displacement-ordered (an entry `d` slots
+// past its home has stolen from every richer entry it passed -- Robin Hood's
+// take-from-the-rich swap), and erase uses backward-shift deletion: the run
+// behind the victim slides back one slot, so there are no tombstones and
+// probe sequences never grow from churn.
+//
+// Concurrency model. Mutations (insert / put / erase) execute on the
+// owning locale -- shipped there as (aggregated) active messages from
+// remote callers, exactly like the other distributed structures "opt out"
+// of network atomics -- and serialize on a per-segment spinlock: a
+// displacement chain or backward shift moves several slots at once, which
+// is K-CAS territory (cf. the lock-free Robin Hood literature); owner-side
+// serialization buys the same atomicity with processor-local cost. Lookups
+// never take the lock: a probe is a wait-free scan of atomic 16-byte slots
+// validated by a per-segment seqlock version -- structural mutations
+// (swap chains, backward shifts) bump the version, single-slot placements
+// and in-place value updates do not, so read-mostly traffic revalidates
+// only when entries actually moved underneath it.
+//
+// Reclamation. Values live *inline* in the slot array -- nothing is ever
+// unlinked, so there is no deferred reclamation and readers cannot touch
+// freed memory by construction. The Domain parameter therefore selects the
+// execution model (DistDomain: privatized segments + operation shipping;
+// LocalDomain: one in-place segment, no runtime), not a reclaim protocol;
+// the table shares the caller's domain purely for lifecycle symmetry with
+// the other five structures.
+//
+// Async surface. Every op has handle-returning (`*Async`) and aggregated
+// (`*AsyncAggregated`, riding the calling task's comm::Aggregator and
+// enrolling in any open comm::OpWindow) variants, plus `findBatch`: one
+// batched lookup op per destination locale for windowed joins.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "atomic/dcas.hpp"
+#include "epoch/domain.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/privatization.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/sim_clock.hpp"
+#include "runtime/task.hpp"
+#include "util/backoff.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pgasnb {
+
+/// Aggregate health snapshot of a RobinHoodMap (see RobinHoodMap::stats).
+struct RobinHoodStats {
+  std::uint64_t slots = 0;         ///< total slot capacity
+  std::uint64_t used = 0;          ///< occupied slots
+  std::uint64_t max_displacement = 0;  ///< worst probe distance in the table
+  std::uint64_t full_rejects = 0;  ///< inserts refused by a full segment
+};
+
+template <typename V, ReclaimDomain Domain = DistDomain>
+class RobinHoodMap {
+  static_assert(std::is_trivially_copyable_v<V> && sizeof(V) <= 8,
+                "RobinHoodMap stores values inline in 16-byte slots; V must "
+                "be trivially copyable and at most 8 bytes");
+
+ public:
+  /// All-ones is the empty-slot sentinel; user keys must avoid it.
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+ private:
+  /// One locale's contiguous slice of the slot array plus its writer lock
+  /// and seqlock version. Slots are raw U128s (lo = key, hi = value bits)
+  /// accessed exclusively through the __atomic 16-byte ops.
+  struct Segment {
+    U128* slots = nullptr;
+    std::uint64_t nslots = 0;
+    std::atomic<std::uint64_t> version{0};  ///< seqlock: odd = moving slots
+    std::atomic<std::uint32_t> lock{0};     ///< writer spinlock (TAS)
+    std::atomic<std::uint64_t> used{0};
+    std::atomic<std::uint64_t> full_rejects{0};
+    std::atomic<std::uint64_t> max_disp{0};
+
+    explicit Segment(std::uint64_t n) : nslots(n) {
+      if constexpr (Domain::kDistributed) {
+        slots = static_cast<U128*>(
+            Runtime::get().allocateOn(Runtime::here(), n * sizeof(U128)));
+      } else {
+        slots = new U128[n];
+      }
+      // key = kEmptyKey everywhere (the hi word is don't-care when empty).
+      std::memset(static_cast<void*>(slots), 0xFF, n * sizeof(U128));
+    }
+
+    ~Segment() {
+      if constexpr (Domain::kDistributed) {
+        Runtime::get().deallocateLocal(slots, nslots * sizeof(U128));
+      } else {
+        delete[] slots;
+      }
+    }
+
+    Segment(const Segment&) = delete;
+    Segment& operator=(const Segment&) = delete;
+  };
+
+ public:
+  RobinHoodMap() = default;  // invalid; use create()
+
+  /// Collective under DistDomain: rounds `capacity` up to a whole number of
+  /// slots per locale and carves one contiguous segment out of each
+  /// locale's arena. The capacity is fixed for the table's lifetime (no
+  /// resize); size workloads against `stats().used` / `loadFactor()`.
+  static RobinHoodMap create(std::uint64_t capacity, Domain& domain) {
+    RobinHoodMap map;
+    map.domain_ = DomainRef<Domain>(domain);
+    if constexpr (Domain::kDistributed) {
+      map.num_locales_ = Runtime::get().numLocales();
+    } else {
+      map.num_locales_ = 1;
+    }
+    map.seg_slots_ =
+        (capacity + map.num_locales_ - 1) / map.num_locales_;
+    if (map.seg_slots_ == 0) map.seg_slots_ = 1;
+    map.capacity_ = map.seg_slots_ * map.num_locales_;
+    const std::uint64_t seg_slots = map.seg_slots_;
+    if constexpr (Domain::kDistributed) {
+      map.segments_ = Privatized<Segment>::create(
+          [seg_slots] { return gnew<Segment>(seg_slots); });
+    } else {
+      map.local_segment_ = new Segment(seg_slots);
+    }
+    return map;
+  }
+
+  /// Teardown (collective under DistDomain). No deferred nodes exist --
+  /// inline slots -- so this only frees the segments.
+  void destroy() {
+    if (!valid()) return;
+    if constexpr (Domain::kDistributed) {
+      segments_.destroy();
+    } else {
+      delete local_segment_;
+      local_segment_ = nullptr;
+    }
+  }
+
+  bool valid() const noexcept {
+    if constexpr (Domain::kDistributed) {
+      return segments_.valid();
+    } else {
+      return local_segment_ != nullptr;
+    }
+  }
+
+  // Like the other distributed structures, the map is a trivially copyable
+  // *handle*: capture it by value in task lambdas.
+
+  // --- synchronous surface -------------------------------------------------
+
+  /// Insert (key, value); false if the key already exists (or the owning
+  /// segment is full -- counted in stats().full_rejects).
+  bool insert(std::uint64_t key, const V& value) const {
+    const std::uint64_t vbits = packValue(value);
+    bool inserted = false;
+    onOwner(key, [&](Segment& seg, std::uint64_t home) {
+      inserted = segPut(seg, key, vbits, home,
+                        /*assign=*/false) == PutOutcome::inserted;
+    });
+    return inserted;
+  }
+
+  /// Upsert: insert the key or overwrite its value in place. Returns true
+  /// when the key was newly inserted.
+  bool put(std::uint64_t key, const V& value) const {
+    const std::uint64_t vbits = packValue(value);
+    bool inserted = false;
+    onOwner(key, [&](Segment& seg, std::uint64_t home) {
+      inserted = segPut(seg, key, vbits, home,
+                        /*assign=*/true) == PutOutcome::inserted;
+    });
+    return inserted;
+  }
+
+  std::optional<V> find(std::uint64_t key) const {
+    std::optional<V> out;
+    onOwner(key, [&](Segment& seg, std::uint64_t home) {
+      if (auto bits = segFind(seg, key, home)) out = unpackValue(*bits);
+    });
+    return out;
+  }
+
+  bool contains(std::uint64_t key) const { return find(key).has_value(); }
+
+  /// Remove the key (backward-shift deletion; no tombstones); returns its
+  /// value if it was present.
+  std::optional<V> erase(std::uint64_t key) const {
+    std::optional<V> out;
+    onOwner(key, [&](Segment& seg, std::uint64_t home) {
+      if (auto bits = segErase(seg, key, home)) out = unpackValue(*bits);
+    });
+    return out;
+  }
+
+  // --- asynchronous surface (handle-returning) -----------------------------
+  //
+  // Remote keys ship one op to the owner's progress thread and return
+  // immediately; local keys run inline (the handle is already ready).
+  // Join with wait()/value(), a comm::CompletionQueue, or an OpWindow.
+
+  comm::Handle<bool> insertAsync(std::uint64_t key, const V& value) const {
+    const std::uint64_t vbits = packValue(value);
+    return shipValueOp<bool>(key, [key, vbits](RobinHoodMap map,
+                                               Segment& seg,
+                                               std::uint64_t home) {
+      return map.segPut(seg, key, vbits, home, /*assign=*/false) ==
+             PutOutcome::inserted;
+    });
+  }
+
+  comm::Handle<bool> putAsync(std::uint64_t key, const V& value) const {
+    const std::uint64_t vbits = packValue(value);
+    return shipValueOp<bool>(key, [key, vbits](RobinHoodMap map,
+                                               Segment& seg,
+                                               std::uint64_t home) {
+      return map.segPut(seg, key, vbits, home, /*assign=*/true) ==
+             PutOutcome::inserted;
+    });
+  }
+
+  comm::Handle<std::optional<V>> findAsync(std::uint64_t key) const {
+    return shipValueOp<std::optional<V>>(
+        key, [key](RobinHoodMap map, Segment& seg, std::uint64_t home) {
+          std::optional<V> out;
+          if (auto bits = map.segFind(seg, key, home)) {
+            out = unpackValue(*bits);
+          }
+          return out;
+        });
+  }
+
+  comm::Handle<bool> containsAsync(std::uint64_t key) const {
+    return shipValueOp<bool>(
+        key, [key](RobinHoodMap map, Segment& seg, std::uint64_t home) {
+          return map.segFind(seg, key, home).has_value();
+        });
+  }
+
+  comm::Handle<std::optional<V>> eraseAsync(std::uint64_t key) const {
+    return shipValueOp<std::optional<V>>(
+        key, [key](RobinHoodMap map, Segment& seg, std::uint64_t home) {
+          std::optional<V> out;
+          if (auto bits = map.segErase(seg, key, home)) {
+            out = unpackValue(*bits);
+          }
+          return out;
+        });
+  }
+
+  // --- aggregated surface --------------------------------------------------
+  //
+  // Same ops riding the calling task's comm::Aggregator: one wire+service
+  // charge per batch per destination instead of per op, handles of one
+  // batch resolving together. Issued inside a comm::OpWindow they enroll
+  // automatically; the window's close (or any wait/drain) auto-flushes, so
+  // no manual flushAll() is ever needed.
+
+  comm::Handle<bool> insertAsyncAggregated(std::uint64_t key,
+                                           const V& value) const {
+    const std::uint64_t vbits = packValue(value);
+    return shipAggregated<bool>(key, [key, vbits](RobinHoodMap map,
+                                                  Segment& seg,
+                                                  std::uint64_t home) {
+      return map.segPut(seg, key, vbits, home, /*assign=*/false) ==
+             PutOutcome::inserted;
+    });
+  }
+
+  comm::Handle<bool> putAsyncAggregated(std::uint64_t key,
+                                        const V& value) const {
+    const std::uint64_t vbits = packValue(value);
+    return shipAggregated<bool>(key, [key, vbits](RobinHoodMap map,
+                                                  Segment& seg,
+                                                  std::uint64_t home) {
+      return map.segPut(seg, key, vbits, home, /*assign=*/true) ==
+             PutOutcome::inserted;
+    });
+  }
+
+  comm::Handle<std::optional<V>> findAsyncAggregated(std::uint64_t key) const {
+    return shipAggregated<std::optional<V>>(
+        key, [key](RobinHoodMap map, Segment& seg, std::uint64_t home) {
+          std::optional<V> out;
+          if (auto bits = map.segFind(seg, key, home)) {
+            out = unpackValue(*bits);
+          }
+          return out;
+        });
+  }
+
+  comm::Handle<std::optional<V>> eraseAsyncAggregated(std::uint64_t key) const {
+    return shipAggregated<std::optional<V>>(
+        key, [key](RobinHoodMap map, Segment& seg, std::uint64_t home) {
+          std::optional<V> out;
+          if (auto bits = map.segErase(seg, key, home)) {
+            out = unpackValue(*bits);
+          }
+          return out;
+        });
+  }
+
+  /// Batched lookup for windowed joins: `keys[i]`'s result lands in
+  /// `out[i]`. Keys are grouped by owning locale and each group ships as
+  /// ONE aggregated op (weight = group size) that probes every key of the
+  /// group in a single handler pass -- the per-destination cost is one
+  /// batch share regardless of how many keys hit that locale, which is
+  /// what makes skewed (hot-owner) traffic cheap. The returned handle
+  /// completes when every group has; `out` must stay alive and untouched
+  /// until then.
+  comm::Handle<> findBatch(std::span<const std::uint64_t> keys,
+                           std::span<std::optional<V>> out) const {
+    PGASNB_CHECK_MSG(keys.size() == out.size(),
+                     "RobinHoodMap::findBatch spans must have equal size");
+    if constexpr (!Domain::kDistributed) {
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        out[i] = find(keys[i]);
+      }
+      return comm::readyHandle();
+    } else {
+      // Group key indices by owner.
+      std::vector<std::vector<std::uint32_t>> groups(num_locales_);
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        groups[ownerOf(keys[i])].push_back(static_cast<std::uint32_t>(i));
+      }
+      std::vector<comm::Handle<>> handles;
+      const std::uint32_t here = Runtime::here();
+      auto map = *this;
+      for (std::uint32_t loc = 0; loc < num_locales_; ++loc) {
+        if (groups[loc].empty()) continue;
+        auto probe_group = [map, keys, out,
+                            idxs = std::move(groups[loc])] {
+          Segment& seg = map.segments_.local();
+          for (const std::uint32_t i : idxs) {
+            const std::uint64_t key = keys[i];
+            std::optional<V> r;
+            if (auto bits = map.segFind(seg, key, map.homeOf(key))) {
+              r = unpackValue(*bits);
+            }
+            out[i] = r;
+          }
+        };
+        if (loc == here) {
+          probe_group();
+          continue;
+        }
+        const auto weight = static_cast<std::uint64_t>(keys.size());
+        handles.push_back(comm::taskAggregator().enqueueHandle(
+            loc, std::move(probe_group), weight));
+      }
+      return comm::whenAll(handles);
+    }
+  }
+
+  // --- introspection -------------------------------------------------------
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// Total occupied slots (quiescent-exact, otherwise approximate).
+  std::uint64_t sizeApprox() const {
+    if constexpr (Domain::kDistributed) {
+      auto segments = segments_;
+      return allLocalesSum(
+          [segments] { return segments.local().used.load(); });
+    } else {
+      return local_segment_->used.load();
+    }
+  }
+
+  double loadFactor() const {
+    return static_cast<double>(sizeApprox()) /
+           static_cast<double>(capacity_);
+  }
+
+  /// Aggregate segment health (quiescent-exact).
+  RobinHoodStats stats() const {
+    RobinHoodStats s;
+    s.slots = capacity_;
+    if constexpr (Domain::kDistributed) {
+      std::atomic<std::uint64_t> used{0}, rejects{0}, max_disp{0};
+      auto segments = segments_;
+      coforallLocales([segments, &used, &rejects, &max_disp] {
+        Segment& seg = segments.local();
+        used.fetch_add(seg.used.load());
+        rejects.fetch_add(seg.full_rejects.load());
+        std::uint64_t d = seg.max_disp.load();
+        std::uint64_t seen = max_disp.load();
+        while (seen < d && !max_disp.compare_exchange_weak(seen, d)) {
+        }
+      });
+      s.used = used.load();
+      s.full_rejects = rejects.load();
+      s.max_displacement = max_disp.load();
+    } else {
+      s.used = local_segment_->used.load();
+      s.full_rejects = local_segment_->full_rejects.load();
+      s.max_displacement = local_segment_->max_disp.load();
+    }
+    return s;
+  }
+
+  /// Whole-table invariant scan (tests): every occupied slot must satisfy
+  /// the Robin Hood ordering -- an entry displaced `d > 0` slots sits
+  /// behind a neighbour displaced at least `d - 1` -- and per-segment used
+  /// counts must match the occupied-slot census. Takes each segment's
+  /// writer lock, so concurrent mutators are excluded segment by segment.
+  bool validateInvariants() const {
+    if constexpr (Domain::kDistributed) {
+      auto map = *this;
+      return allLocalesAnd(
+          [map] { return map.segValidate(map.segments_.local()); });
+    } else {
+      return segValidate(*local_segment_);
+    }
+  }
+
+ private:
+  enum class PutOutcome : std::uint8_t { inserted, updated, present, full };
+
+  static std::uint64_t rhHash(std::uint64_t key) noexcept {
+    std::uint64_t s = key;
+    return splitmix64(s);
+  }
+
+  static std::uint64_t packValue(const V& v) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(V));
+    return bits;
+  }
+  static V unpackValue(std::uint64_t bits) noexcept {
+    V v{};
+    std::memcpy(&v, &bits, sizeof(V));
+    return v;
+  }
+
+  std::uint64_t globalSlotOf(std::uint64_t key) const noexcept {
+    return rhHash(key) % capacity_;
+  }
+  std::uint32_t ownerOf(std::uint64_t key) const noexcept {
+    return static_cast<std::uint32_t>(globalSlotOf(key) / seg_slots_);
+  }
+  std::uint64_t homeOf(std::uint64_t key) const noexcept {
+    return globalSlotOf(key) % seg_slots_;
+  }
+
+  /// Displacement of `key` if it sat at `pos` (probe distance from home).
+  static std::uint64_t dispOf(const RobinHoodMap& map, std::uint64_t key,
+                              std::uint64_t pos, std::uint64_t nslots) {
+    const std::uint64_t home = map.homeOf(key);
+    return (pos + nslots - home) % nslots;
+  }
+
+  /// Charge `probes` slot accesses to the simulated clock (processor
+  /// 16-byte atomics on the executing locale). No-op without a runtime
+  /// (plain LocalDomain programs).
+  static void chargeProbes(std::uint64_t probes) {
+    if (probes != 0 && Runtime::active()) {
+      sim::charge(probes * Runtime::get().config().latency.cpu_atomic_ns);
+    }
+  }
+
+  // --- segment-local core (executes on the owning locale) ------------------
+
+  struct SegLock {
+    explicit SegLock(Segment& seg) : seg_(seg) {
+      Backoff backoff;
+      while (seg_.lock.exchange(1, std::memory_order_acquire) != 0) {
+        backoff.pause();
+      }
+    }
+    ~SegLock() { seg_.lock.store(0, std::memory_order_release); }
+    Segment& seg_;
+  };
+
+  /// seqlock-validated wait-free probe; never takes the writer lock.
+  std::optional<std::uint64_t> segFind(const Segment& seg, std::uint64_t key,
+                                       std::uint64_t home) const {
+    PGASNB_CHECK_MSG(key != kEmptyKey, "RobinHoodMap: reserved key");
+    const std::uint64_t S = seg.nslots;
+    std::uint64_t probes = 0;
+    std::optional<std::uint64_t> out;
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t v1 = seg.version.load(std::memory_order_acquire);
+      if ((v1 & 1) != 0) {  // a structural mutation is mid-flight
+        backoff.pause();
+        continue;
+      }
+      out.reset();
+      bool decided = false;
+      std::uint64_t pos = home;
+      for (std::uint64_t d = 0; d < S; ++d) {
+        const U128 cur = dloadLocal(seg.slots[pos]);
+        ++probes;
+        if (cur.lo == key) {
+          out = cur.hi;
+          decided = true;
+          break;
+        }
+        if (cur.lo == kEmptyKey ||
+            dispOf(*this, cur.lo, pos, S) < d) {
+          decided = true;  // Robin Hood early termination: definitive miss
+          break;
+        }
+        pos = pos + 1 == S ? 0 : pos + 1;
+      }
+      if (!decided) {
+        // Wrapped the whole segment without an empty slot: full table,
+        // miss is definitive.
+        decided = true;
+      }
+      if (seg.version.load(std::memory_order_acquire) == v1) break;
+      backoff.pause();  // slots moved underneath the probe; retry
+    }
+    chargeProbes(probes);
+    return out;
+  }
+
+  /// Insert or upsert under the segment lock. Single-slot placements and
+  /// in-place value updates are plain atomic stores (readers cannot be
+  /// misled); displacement chains bump the seqlock version around the run
+  /// of moves.
+  PutOutcome segPut(Segment& seg, std::uint64_t key, std::uint64_t vbits,
+                    std::uint64_t home, bool assign) const {
+    PGASNB_CHECK_MSG(key != kEmptyKey, "RobinHoodMap: reserved key");
+    const std::uint64_t S = seg.nslots;
+    std::uint64_t probes = 0;
+    PutOutcome outcome = PutOutcome::full;
+    {
+      SegLock hold(seg);
+      std::uint64_t pos = home;
+      std::uint64_t d = 0;
+      for (;;) {
+        if (d >= S) break;  // wrapped: no empty slot and key absent => full
+        const U128 cur = dloadLocal(seg.slots[pos]);
+        ++probes;
+        if (cur.lo == key) {
+          if (assign) {
+            dstoreLocal(seg.slots[pos], U128{key, vbits});
+            outcome = PutOutcome::updated;
+          } else {
+            outcome = PutOutcome::present;
+          }
+          break;
+        }
+        if (cur.lo == kEmptyKey) {
+          // Free slot at our probe position: single-store placement.
+          dstoreLocal(seg.slots[pos], U128{key, vbits});
+          noteInsert(seg, d);
+          outcome = PutOutcome::inserted;
+          break;
+        }
+        const std::uint64_t dc = dispOf(*this, cur.lo, pos, S);
+        if (dc < d) {
+          // The resident is richer: the key is provably absent. Take the
+          // slot and re-place the displaced run (Robin Hood swap chain).
+          if (seg.used.load(std::memory_order_relaxed) >= S) break;  // full
+          seg.version.fetch_add(1, std::memory_order_acq_rel);  // odd
+          U128 carry = cur;
+          std::uint64_t carry_d = dc;
+          dstoreLocal(seg.slots[pos], U128{key, vbits});
+          noteInsert(seg, d);
+          pos = pos + 1 == S ? 0 : pos + 1;
+          ++carry_d;
+          for (;;) {
+            const U128 victim = dloadLocal(seg.slots[pos]);
+            ++probes;
+            if (victim.lo == kEmptyKey) {
+              dstoreLocal(seg.slots[pos], carry);
+              noteDisplacement(seg, carry_d);
+              break;
+            }
+            const std::uint64_t vd = dispOf(*this, victim.lo, pos, S);
+            if (vd < carry_d) {
+              dstoreLocal(seg.slots[pos], carry);
+              noteDisplacement(seg, carry_d);
+              carry = victim;
+              carry_d = vd;
+            }
+            pos = pos + 1 == S ? 0 : pos + 1;
+            ++carry_d;
+          }
+          seg.version.fetch_add(1, std::memory_order_acq_rel);  // even
+          outcome = PutOutcome::inserted;
+          break;
+        }
+        pos = pos + 1 == S ? 0 : pos + 1;
+        ++d;
+      }
+      if (outcome == PutOutcome::full) {
+        seg.full_rejects.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    chargeProbes(probes);
+    return outcome;
+  }
+
+  /// Erase under the segment lock: probe, then backward-shift the trailing
+  /// run one slot left (version-bumped -- entries move).
+  std::optional<std::uint64_t> segErase(Segment& seg, std::uint64_t key,
+                                        std::uint64_t home) const {
+    PGASNB_CHECK_MSG(key != kEmptyKey, "RobinHoodMap: reserved key");
+    const std::uint64_t S = seg.nslots;
+    std::uint64_t probes = 0;
+    std::optional<std::uint64_t> out;
+    {
+      SegLock hold(seg);
+      std::uint64_t pos = home;
+      bool found = false;
+      for (std::uint64_t d = 0; d < S; ++d) {
+        const U128 cur = dloadLocal(seg.slots[pos]);
+        ++probes;
+        if (cur.lo == key) {
+          out = cur.hi;
+          found = true;
+          break;
+        }
+        if (cur.lo == kEmptyKey || dispOf(*this, cur.lo, pos, S) < d) break;
+        pos = pos + 1 == S ? 0 : pos + 1;
+      }
+      if (found) {
+        seg.version.fetch_add(1, std::memory_order_acq_rel);  // odd
+        for (;;) {
+          const std::uint64_t nxt = pos + 1 == S ? 0 : pos + 1;
+          const U128 succ = dloadLocal(seg.slots[nxt]);
+          ++probes;
+          if (succ.lo == kEmptyKey ||
+              dispOf(*this, succ.lo, nxt, S) == 0) {
+            break;  // run ends: home-positioned entries never shift back
+          }
+          dstoreLocal(seg.slots[pos], succ);
+          pos = nxt;
+        }
+        dstoreLocal(seg.slots[pos], U128{kEmptyKey, 0});
+        seg.version.fetch_add(1, std::memory_order_acq_rel);  // even
+        seg.used.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    chargeProbes(probes);
+    return out;
+  }
+
+  void noteInsert(Segment& seg, std::uint64_t disp) const {
+    seg.used.fetch_add(1, std::memory_order_relaxed);
+    noteDisplacement(seg, disp);
+  }
+  static void noteDisplacement(Segment& seg, std::uint64_t disp) {
+    std::uint64_t seen = seg.max_disp.load(std::memory_order_relaxed);
+    while (seen < disp && !seg.max_disp.compare_exchange_weak(
+                              seen, disp, std::memory_order_relaxed)) {
+    }
+  }
+
+  bool segValidate(Segment& seg) const {
+    SegLock hold(seg);
+    const std::uint64_t S = seg.nslots;
+    std::uint64_t occupied = 0;
+    for (std::uint64_t pos = 0; pos < S; ++pos) {
+      const U128 cur = dloadLocal(seg.slots[pos]);
+      if (cur.lo == kEmptyKey) continue;
+      ++occupied;
+      if (ownerOf(cur.lo) != currentSegmentOwner()) return false;
+      const std::uint64_t d = dispOf(*this, cur.lo, pos, S);
+      if (d == 0) continue;
+      const std::uint64_t prev_pos = pos == 0 ? S - 1 : pos - 1;
+      const U128 prev = dloadLocal(seg.slots[prev_pos]);
+      // Robin Hood ordering: a displaced entry sits behind a neighbour
+      // displaced at least d-1 (an empty or richer predecessor would mean
+      // this entry failed to take a slot it was entitled to).
+      if (prev.lo == kEmptyKey) return false;
+      if (dispOf(*this, prev.lo, prev_pos, S) + 1 < d) return false;
+    }
+    return occupied == seg.used.load(std::memory_order_relaxed);
+  }
+
+  static std::uint32_t currentSegmentOwner() noexcept {
+    if constexpr (Domain::kDistributed) {
+      return Runtime::here();
+    } else {
+      return 0;
+    }
+  }
+
+  // --- op routing ----------------------------------------------------------
+
+  /// Run `fn(segment, home_slot)` on the key's owning locale (in place for
+  /// a LocalDomain), blocking like the other structures' sync ops.
+  template <typename Fn>
+  void onOwner(std::uint64_t key, const Fn& fn) const {
+    const std::uint64_t home = homeOf(key);
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t owner = ownerOf(key);
+      auto segments = segments_;
+      comm::amSync(owner,
+                   [&fn, segments, home] { fn(segments.local(), home); });
+    } else {
+      fn(*local_segment_, home);
+    }
+  }
+
+  /// Ship `op(map, segment, home)` -> R to the owner as one async AM;
+  /// local owners run inline and return a ready handle.
+  template <typename R, typename Op>
+  comm::Handle<R> shipValueOp(std::uint64_t key, Op op) const {
+    const std::uint64_t home = homeOf(key);
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t owner = ownerOf(key);
+      if (owner != Runtime::here()) {
+        auto map = *this;
+        return comm::amAsyncValue<R>(owner, [map, home, op = std::move(op)] {
+          return op(map, map.segments_.local(), home);
+        });
+      }
+      return comm::readyValueHandle(
+          op(*this, segments_.local(), home));
+    } else {
+      return comm::readyValueHandle(op(*this, *local_segment_, home));
+    }
+  }
+
+  /// Aggregated flavor of shipValueOp: the op rides the calling task's
+  /// Aggregator (one batched AM per destination) and its handle resolves
+  /// with the batch. Local owners run inline.
+  template <typename R, typename Op>
+  comm::Handle<R> shipAggregated(std::uint64_t key, Op op) const {
+    const std::uint64_t home = homeOf(key);
+    if constexpr (Domain::kDistributed) {
+      const std::uint32_t owner = ownerOf(key);
+      if (owner != Runtime::here()) {
+        auto state = std::make_shared<comm::detail::HandleState<R>>();
+        auto* raw = state.get();
+        auto map = *this;
+        comm::taskAggregator().enqueueWithCore(
+            owner,
+            [map, home, raw, op = std::move(op)] {
+              raw->value = op(map, map.segments_.local(), home);
+            },
+            state);
+        return comm::Handle<R>(std::move(state));
+      }
+      return comm::readyValueHandle(
+          op(*this, segments_.local(), home));
+    } else {
+      return comm::readyValueHandle(op(*this, *local_segment_, home));
+    }
+  }
+
+  Privatized<Segment> segments_;      // DistDomain storage
+  Segment* local_segment_ = nullptr;  // LocalDomain storage
+  DomainRef<Domain> domain_;          // lifecycle symmetry (no reclamation)
+  std::uint64_t capacity_ = 0;
+  std::uint64_t seg_slots_ = 0;
+  std::uint32_t num_locales_ = 1;
+};
+
+}  // namespace pgasnb

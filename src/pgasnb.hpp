@@ -78,3 +78,4 @@
 #include "ds/harris_list.hpp"
 #include "ds/dist_stack.hpp"
 #include "ds/interlocked_hash_table.hpp"
+#include "ds/robinhood_map.hpp"

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <optional>
 #include <set>
+#include <vector>
 
 #include "test_support.hpp"
 
@@ -72,6 +74,58 @@ TEST_P(IhtModeTest, ConcurrentInsertsFromAllLocales) {
       EXPECT_EQ(*table.find(k), k);
     }
   });
+  table.destroy();
+  domain.destroy();
+}
+
+TEST_P(IhtModeTest, AsyncOpsMatchSyncSemantics) {
+  DistDomain domain = DistDomain::create();
+  auto table = InterlockedHashTable<std::uint64_t>::create(64, domain);
+
+  EXPECT_TRUE(table.insertAsync(1, 10).value());
+  EXPECT_FALSE(table.insertAsync(1, 11).value()) << "duplicate key";
+  EXPECT_EQ(*table.findAsync(1).value(), 10u);
+  EXPECT_FALSE(table.findAsync(2).value().has_value());
+  EXPECT_TRUE(table.containsAsync(1).value());
+  EXPECT_FALSE(table.containsAsync(2).value());
+
+  EXPECT_FALSE(table.updateAsync(1, 12).value()) << "replaced, not inserted";
+  EXPECT_EQ(*table.findAsync(1).value(), 12u);
+  EXPECT_TRUE(table.updateAsync(3, 30).value()) << "fresh key inserts";
+
+  auto erased = table.eraseAsync(1).value();
+  ASSERT_TRUE(erased.has_value());
+  EXPECT_EQ(*erased, 12u);
+  EXPECT_FALSE(table.eraseAsync(1).value().has_value());
+
+  table.destroy();
+  domain.destroy();
+}
+
+TEST_P(IhtModeTest, AsyncOpsJoinThroughAnOpWindow) {
+  DistDomain domain = DistDomain::create();
+  auto table = InterlockedHashTable<std::uint64_t>::create(64, domain);
+  constexpr std::uint64_t kN = 120;
+  std::vector<comm::Handle<bool>> inserts;
+  {
+    comm::OpWindow window;
+    for (std::uint64_t k = 0; k < kN; ++k) {
+      inserts.push_back(window.add(table.insertAsync(k, k * 5)));
+    }
+  }  // close waits for every adopted handle
+  for (auto& h : inserts) EXPECT_TRUE(h.value());
+  EXPECT_EQ(table.sizeApprox(), kN);
+  std::vector<comm::Handle<std::optional<std::uint64_t>>> finds;
+  {
+    comm::OpWindow window;
+    for (std::uint64_t k = 0; k < kN; ++k) {
+      finds.push_back(window.add(table.findAsync(k)));
+    }
+  }
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(finds[k].value().has_value()) << "k=" << k;
+    EXPECT_EQ(*finds[k].value(), k * 5);
+  }
   table.destroy();
   domain.destroy();
 }
