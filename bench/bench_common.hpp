@@ -84,6 +84,12 @@ class LatencyRecorder {
                     other.samples_.end());
   }
 
+  /// Start a new measurement window: drop every recorded sample (capacity
+  /// is kept, so a per-epoch reset costs nothing steady-state). Per-epoch
+  /// reporting loops `reset(); record...; summary()` so percentiles never
+  /// accumulate across windows.
+  void reset() noexcept { samples_.clear(); }
+
   std::size_t count() const noexcept { return samples_.size(); }
 
   double p50() const { return percentileNs(0.50); }

@@ -51,6 +51,8 @@ struct CellResult {
   Measurement m;
   std::uint64_t ops = 0;
   LatencyRecorder lat;
+  bool has_rejects = false;         // robinhood cells only
+  std::uint64_t full_rejects = 0;   // RobinHoodStats::full_rejects
 };
 
 /// One locale's slice of the mixed phase, generic over the per-op issue
@@ -179,6 +181,8 @@ CellResult runCell(TableKind kind, const MixSpec& mix, KeyDist dist,
   if (kind == TableKind::robinhood) {
     PGASNB_CHECK_MSG(rh.validateInvariants(),
                      "ycsb_like: Robin Hood invariants violated after run");
+    result.has_rejects = true;
+    result.full_rejects = rh.stats().full_rejects;  // quiescent-exact
     rh.destroy();
   } else {
     iht.destroy();
@@ -201,6 +205,7 @@ int main(int argc, char** argv) {
   FigureTable table("ycsb-like");
   double at8_rh_thr = 0.0;
   double at8_iht_thr = 0.0;
+  bool insert_rejected = false;
   for (std::uint32_t locales = 1;
        locales <= std::min(opts.max_locales, 8u); locales *= 2) {
     for (TableKind kind : kTables) {
@@ -216,11 +221,27 @@ int main(int argc, char** argv) {
           char series[96];
           std::snprintf(series, sizeof(series), "%s/%s/%s", toString(kind),
                         mix.name, toString(dist));
-          char notes[160];
-          std::snprintf(notes, sizeof(notes),
-                        "ops=%" PRIu64 " thr=%.2fMops %s", r.ops, thr * 1e-6,
-                        r.lat.summary().c_str());
+          char notes[192];
+          if (r.has_rejects) {
+            std::snprintf(notes, sizeof(notes),
+                          "ops=%" PRIu64 " thr=%.2fMops %s rejects=%" PRIu64,
+                          r.ops, thr * 1e-6, r.lat.summary().c_str(),
+                          r.full_rejects);
+          } else {
+            std::snprintf(notes, sizeof(notes),
+                          "ops=%" PRIu64 " thr=%.2fMops %s", r.ops,
+                          thr * 1e-6, r.lat.summary().c_str());
+          }
           table.addRow(series, locales, r.m, notes);
+          if (r.has_rejects && mix.insert > 0.0 && r.full_rejects > 0) {
+            std::fprintf(stderr,
+                         "ycsb_like: %s/%s at %u locales rejected %" PRIu64
+                         " insert(s) on full segments -- capacity %" PRIu64
+                         " cannot absorb the insert mix at this scale\n",
+                         mix.name, toString(dist), locales, r.full_rejects,
+                         kCapacity);
+            insert_rejected = true;
+          }
           if (locales == 8 && mix.read == kReadHeavyMix.read &&
               dist == KeyDist::zipfian) {
             if (kind == TableKind::robinhood) at8_rh_thr = thr;
@@ -231,6 +252,11 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
+
+  if (insert_rejected) {
+    std::printf("\ninsert-mix check (no full-segment rejects): FAIL\n");
+    return 1;
+  }
 
   if (opts.max_locales < 8) {
     std::printf("acceptance check skipped (needs --max-locales >= 8)\n");

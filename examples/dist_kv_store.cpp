@@ -1,18 +1,25 @@
-// Distributed key-value store over the library's hash tables.
+// Distributed key-value store served by the epoch-phased batch engine.
 //
-//   ./examples/dist_kv_store [--locales=N] [--keys=K] [--ops=M]
-//                            [--table=robinhood|iht]
+//   ./examples/dist_kv_store [--locales=N] [--keys=K] [--epochs=E]
+//                            [--ops-per-epoch=M] [--mode=pipelined|barriered]
 //
-// A mixed get/put/delete workload (the YCSB-ish 90/5/5 read-mostly mix)
-// runs from every locale. The default store is the RobinHoodMap: gets are
-// *windowed aggregated lookups* -- each window's get keys go out as one
-// findBatch (one batched op per owning locale), puts/deletes ride the
-// aggregated per-op path in the same comm::OpWindow, and the window close
-// joins the whole batch at its max simulated time. `--table=iht` keeps the
-// original InterlockedHashTable path: synchronous per-op active messages
-// with removed entries reclaimed through the shared DistDomain. Prints
-// throughput and a final consistency audit either way.
+// The first tenant of engine::EpochEngine: a RobinHoodMap store serves a
+// closed-loop 90/5/5 get/put/delete mix (defaults: 16 epochs x 65536
+// requests, ~1M requests total). Each epoch the engine admits the batch on
+// every (locale, worker) lane, partitions it by owning locale, stages the
+// writes' version nodes under an epoch guard (the previous versions become
+// the epoch's garbage), and issues everything through drain-mode
+// comm::OpWindows. Deletes re-put the key in the same aggregated batch
+// (per-destination order is preserved), so the audit invariant holds at
+// every epoch boundary: present => value == 2*key.
+//
+// The epoch is the reclamation boundary: the engine advances the domain's
+// epoch at each boundary, so a version retired in epoch N is reclaimed by
+// the end of epoch N+1 -- watch the reclaim column trail the retire column
+// by exactly one epoch. Per-epoch throughput and p50/p95/p99 latency come
+// straight out of the engine's EpochStats.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "pgasnb.hpp"
@@ -21,92 +28,82 @@ using namespace pgasnb;
 
 namespace {
 
-struct MixCounters {
-  std::atomic<std::uint64_t> gets{0}, hits{0}, puts{0}, dels{0};
+/// 90/5/5 get/put/delete over a RobinHoodMap, admitted per lane with
+/// deterministic per-lane RNG streams.
+class KvStoreClient : public engine::EpochClient {
+ public:
+  KvStoreClient(RobinHoodMap<std::uint64_t> store, std::uint64_t keys,
+                std::uint32_t n_lanes)
+      : store_(store), keys_(keys) {
+    rngs_.reserve(n_lanes);
+    for (std::uint32_t l = 0; l < n_lanes; ++l) {
+      rngs_.emplace_back(l * 0x9E3779B9 + 1);
+    }
+  }
+
+  engine::OpRecord admit(std::uint64_t epoch, std::uint32_t lane,
+                         std::uint64_t k) override {
+    (void)epoch;
+    (void)k;
+    Xoshiro256& rng = rngs_[lane];
+    engine::OpRecord op;
+    op.key = rng.nextBelow(keys_);
+    const double dice = rng.nextDouble();
+    op.kind = dice < 0.90 ? kGet : dice < 0.95 ? kPut : kDelete;
+    return op;
+  }
+
+  std::uint32_t ownerOf(const engine::OpRecord& op) const override {
+    return store_.ownerOfKey(op.key);
+  }
+
+  void initialize(std::uint64_t epoch, DistGuard& guard,
+                  std::span<engine::OpRecord> ops) override {
+    (void)epoch;
+    for (engine::OpRecord& op : ops) {
+      if (op.kind == kGet) continue;
+      // Stage the write's version; the version it supersedes is this
+      // epoch's garbage, reclaimed by the engine no later than epoch+1.
+      auto* version = DistDomain::make<std::uint64_t>(op.key * 2);
+      op.arg = *version;
+      guard.retire(version);
+      staged_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  engine::OpTicket execute(std::uint64_t epoch, engine::OpRecord& op,
+                           comm::OpWindow& window) override {
+    (void)epoch;
+    (void)window;  // aggregated ops auto-enroll into the open window
+    switch (op.kind) {
+      case kGet:
+        gets_.fetch_add(1, std::memory_order_relaxed);
+        return store_.findAsyncAggregated(op.key);
+      case kPut:
+        puts_.fetch_add(1, std::memory_order_relaxed);
+        return store_.putAsyncAggregated(op.key, op.arg);
+      default:
+        dels_.fetch_add(1, std::memory_order_relaxed);
+        (void)store_.eraseAsyncAggregated(op.key);
+        // Same destination, later in the same batch: runs after the erase,
+        // so the key ends the epoch present and correct.
+        return store_.putAsyncAggregated(op.key, op.arg);
+    }
+  }
+
+  std::uint64_t gets() const { return gets_.load(); }
+  std::uint64_t puts() const { return puts_.load(); }
+  std::uint64_t dels() const { return dels_.load(); }
+  std::uint64_t staged() const { return staged_.load(); }
+
+ private:
+  static constexpr std::uint32_t kGet = 0, kPut = 1, kDelete = 2;
+
+  RobinHoodMap<std::uint64_t> store_;
+  std::uint64_t keys_;
+  std::vector<Xoshiro256> rngs_;
+  std::atomic<std::uint64_t> gets_{0}, puts_{0}, dels_{0}, staged_{0};
 };
-
-/// RobinHoodMap mixed phase: windows of 64 ops, gets batched per owner
-/// through findBatch, puts/deletes aggregated in the same window. Deletes
-/// re-put the key afterwards (enqueue order per destination is preserved
-/// within the window), so the audit invariant stays: present => value==2*key.
-void runRobinHoodMix(RobinHoodMap<std::uint64_t> store, std::uint64_t keys,
-                     std::uint64_t ops, MixCounters& counters) {
-  coforallLocales([store, keys, ops, &counters] {
-    Xoshiro256 rng(Runtime::here() * 0x9E3779B9 + 1);
-    const std::uint64_t per_locale = ops / Runtime::get().numLocales();
-    constexpr std::uint64_t kWindow = 64;
-    std::vector<std::uint64_t> get_keys;
-    std::vector<std::optional<std::uint64_t>> get_results;
-    std::uint64_t remaining = per_locale;
-    while (remaining > 0) {
-      const std::uint64_t n = std::min(kWindow, remaining);
-      get_keys.clear();
-      {
-        comm::OpWindow window;
-        for (std::uint64_t i = 0; i < n; ++i) {
-          const std::uint64_t key = rng.nextBelow(keys);
-          const double dice = rng.nextDouble();
-          if (dice < 0.90) {
-            get_keys.push_back(key);
-          } else if (dice < 0.95) {
-            counters.puts.fetch_add(1, std::memory_order_relaxed);
-            (void)store.putAsyncAggregated(key, key * 2);
-          } else {
-            counters.dels.fetch_add(1, std::memory_order_relaxed);
-            (void)store.eraseAsyncAggregated(key);
-            // Same destination, later in the same batch: executes after
-            // the erase, so the key ends the window present and correct.
-            (void)store.putAsyncAggregated(key, key * 2);
-          }
-        }
-        // One batched lookup op per owning locale for the window's gets.
-        get_results.assign(get_keys.size(), std::nullopt);
-        if (!get_keys.empty()) {
-          window.add(store.findBatch(get_keys, get_results));
-        }
-      }  // close: auto-flush + join; results are safe to read now
-      counters.gets.fetch_add(get_keys.size(), std::memory_order_relaxed);
-      for (std::size_t i = 0; i < get_keys.size(); ++i) {
-        if (get_results[i].has_value()) {
-          counters.hits.fetch_add(1, std::memory_order_relaxed);
-          PGASNB_CHECK_MSG(*get_results[i] == get_keys[i] * 2,
-                           "corrupt value observed");
-        }
-      }
-      remaining -= n;
-    }
-  });
-}
-
-/// Original InterlockedHashTable mixed phase: synchronous per-op AMs.
-void runIhtMix(InterlockedHashTable<std::uint64_t> store, DistDomain domain,
-               std::uint64_t keys, std::uint64_t ops, MixCounters& counters) {
-  coforallLocales([&counters, domain, store, keys, ops] {
-    auto guard = domain.attach();
-    Xoshiro256 rng(Runtime::here() * 0x9E3779B9 + 1);
-    const std::uint64_t per_locale = ops / Runtime::get().numLocales();
-    for (std::uint64_t i = 0; i < per_locale; ++i) {
-      const std::uint64_t key = rng.nextBelow(keys);
-      const double dice = rng.nextDouble();
-      if (dice < 0.90) {
-        counters.gets.fetch_add(1, std::memory_order_relaxed);
-        if (auto v = store.find(key)) {
-          counters.hits.fetch_add(1, std::memory_order_relaxed);
-          PGASNB_CHECK_MSG(*v == key * 2, "corrupt value observed");
-        }
-      } else if (dice < 0.95) {
-        counters.puts.fetch_add(1, std::memory_order_relaxed);
-        store.insert(key, key * 2);  // no-op if present
-      } else {
-        counters.dels.fetch_add(1, std::memory_order_relaxed);
-        if (store.erase(key).has_value()) {
-          store.insert(key, key * 2);  // put it back, value unchanged
-        }
-      }
-      if (i % 512 == 0) guard.tryReclaim();
-    }
-  });
-}
 
 }  // namespace
 
@@ -118,89 +115,90 @@ int main(int argc, char** argv) {
   cfg.inject_delays = false;
   Runtime rt(cfg);
   const auto keys = static_cast<std::uint64_t>(opts.integer("keys", 4096));
-  const auto ops = static_cast<std::uint64_t>(opts.integer("ops", 20000));
-  const std::string table = opts.str("table", "robinhood");
-  const bool use_iht = table == "iht";
-  PGASNB_CHECK_MSG(use_iht || table == "robinhood",
-                   "--table must be robinhood or iht");
+  const auto epochs =
+      static_cast<std::uint64_t>(opts.integer("epochs", 16));
+  const auto ops_per_epoch =
+      static_cast<std::uint64_t>(opts.integer("ops-per-epoch", 65536));
+  const std::string mode_str = opts.str("mode", "pipelined");
+  PGASNB_CHECK_MSG(mode_str == "pipelined" || mode_str == "barriered",
+                   "--mode must be pipelined or barriered");
 
   DistDomain domain = DistDomain::create();
-  RobinHoodMap<std::uint64_t> rh_store;
-  InterlockedHashTable<std::uint64_t> iht_store;
-  if (use_iht) {
-    iht_store = InterlockedHashTable<std::uint64_t>::create(
-        /*num_buckets=*/keys / 4 + 1, domain);
-  } else {
-    rh_store = RobinHoodMap<std::uint64_t>::create(/*capacity=*/keys * 2,
+  auto store = RobinHoodMap<std::uint64_t>::create(/*capacity=*/keys * 2,
                                                    domain);
-  }
 
   // Load phase: populate every key with value = key * 2.
-  forallHere(keys, cfg.workers_per_locale, [&](std::uint64_t k) {
-    if (use_iht) {
-      iht_store.insert(k, k * 2);
-    } else {
-      rh_store.insert(k, k * 2);
-    }
-  });
-  const std::uint64_t loaded =
-      use_iht ? iht_store.sizeApprox() : rh_store.sizeApprox();
-  std::printf("loaded %llu keys into the %s store over %u locales\n",
-              static_cast<unsigned long long>(loaded), table.c_str(),
+  forallHere(keys, cfg.workers_per_locale,
+             [&](std::uint64_t k) { store.insert(k, k * 2); });
+  std::printf("loaded %llu keys into the store over %u locales\n",
+              static_cast<unsigned long long>(store.sizeApprox()),
               cfg.num_locales);
 
-  // Mixed phase: every locale runs the 90/5/5 mix.
-  MixCounters counters;
+  // Serving phase: the engine drives E epochs of M requests each.
+  engine::EpochEngineConfig ecfg;
+  ecfg.ops_per_epoch = ops_per_epoch;
+  ecfg.workers_per_locale = cfg.workers_per_locale;
+  ecfg.mode = mode_str == "pipelined" ? engine::PhaseMode::pipelined
+                                      : engine::PhaseMode::barriered;
+  KvStoreClient client(store, keys,
+                       cfg.num_locales * ecfg.workers_per_locale);
+  engine::EpochEngine eng(domain, client, ecfg);
+
   const auto t0 = std::chrono::steady_clock::now();
-  if (use_iht) {
-    runIhtMix(iht_store, domain, keys, ops, counters);
-  } else {
-    runRobinHoodMix(rh_store, keys, ops, counters);
-  }
+  const auto stats = eng.run(epochs);
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  std::printf("%s serving, per-epoch report:\n", mode_str.c_str());
+  std::uint64_t total_ops = 0, prev_deferred = 0;
+  for (const auto& s : stats) {
+    total_ops += s.ops;
+    std::printf("  epoch %2llu: %llu ops  thr=%.2fMops  p50=%.1fus "
+                "p95=%.1fus p99=%.1fus  retired=%llu reclaimed=%llu\n",
+                static_cast<unsigned long long>(s.epoch),
+                static_cast<unsigned long long>(s.ops),
+                s.throughputOps() * 1e-6, s.p50_us, s.p95_us, s.p99_us,
+                static_cast<unsigned long long>(s.reclaim.deferred),
+                static_cast<unsigned long long>(s.reclaim.reclaimed));
+    // The engine's guarantee, visible in the log: everything retired by
+    // epoch N's boundary is reclaimed by epoch N+1's.
+    PGASNB_CHECK_MSG(s.reclaim.reclaimed >= prev_deferred,
+                     "reclamation fell more than one epoch behind");
+    prev_deferred = s.reclaim.deferred;
+  }
+  std::printf("served %llu requests (%llu gets, %llu puts, %llu dels) in "
+              "%.3fs wall (%.0f req/s)\n",
+              static_cast<unsigned long long>(total_ops),
+              static_cast<unsigned long long>(client.gets()),
+              static_cast<unsigned long long>(client.puts()),
+              static_cast<unsigned long long>(client.dels()), secs,
+              static_cast<double>(total_ops) / secs);
+
   // Audit: every present key must map to exactly 2*key.
   std::atomic<std::uint64_t> present{0};
   forallHere(keys, cfg.workers_per_locale, [&](std::uint64_t k) {
-    const auto v = use_iht ? iht_store.find(k) : rh_store.find(k);
-    if (v) {
+    if (const auto v = store.find(k)) {
       PGASNB_CHECK_MSG(*v == k * 2, "audit: corrupt value");
       present.fetch_add(1, std::memory_order_relaxed);
     }
   });
-  if (!use_iht) {
-    PGASNB_CHECK_MSG(rh_store.validateInvariants(),
-                     "audit: Robin Hood invariants violated");
-  }
-
-  const auto stats = domain.stats();
-  std::printf("mixed phase: %llu gets (%.1f%% hit), %llu puts, %llu dels in "
-              "%.3fs (%.0f ops/s)\n",
-              static_cast<unsigned long long>(counters.gets.load()),
-              100.0 * static_cast<double>(counters.hits.load()) /
-                  std::max<std::uint64_t>(1, counters.gets.load()),
-              static_cast<unsigned long long>(counters.puts.load()),
-              static_cast<unsigned long long>(counters.dels.load()), secs,
-              static_cast<double>(counters.gets.load() +
-                                  counters.puts.load() +
-                                  counters.dels.load()) /
-                  secs);
+  PGASNB_CHECK_MSG(store.validateInvariants(),
+                   "audit: Robin Hood invariants violated");
   std::printf("audit: %llu/%llu keys present, all values consistent\n",
               static_cast<unsigned long long>(present.load()),
               static_cast<unsigned long long>(keys));
-  std::printf("reclaim domain: deferred=%llu reclaimed(after clear)=",
-              static_cast<unsigned long long>(stats.deferred));
 
-  if (use_iht) {
-    iht_store.destroy();
-  } else {
-    rh_store.destroy();
-  }
+  const auto dstats = domain.stats();
+  std::printf("reclaim domain: staged=%llu deferred=%llu reclaimed=%llu "
+              "pending=%llu\n",
+              static_cast<unsigned long long>(client.staged()),
+              static_cast<unsigned long long>(dstats.deferred),
+              static_cast<unsigned long long>(dstats.reclaimed),
+              static_cast<unsigned long long>(dstats.pending()));
+
+  store.destroy();
   domain.clear();
-  std::printf("%llu\n",
-              static_cast<unsigned long long>(domain.stats().reclaimed));
   domain.destroy();
   std::printf("ok\n");
   return 0;

@@ -20,7 +20,7 @@ BENCH_ARGS="${PGASNB_BENCH_ARGS:---quick}"
 
 BENCHES=("$@")
 if [[ ${#BENCHES[@]} -eq 0 ]]; then
-  BENCHES=(fig8_aggregated_retire fig9_async_pop ablation_scatter_list ycsb_like)
+  BENCHES=(fig8_aggregated_retire fig9_async_pop ablation_scatter_list ycsb_like epoch_engine)
 fi
 
 mkdir -p "$OUT_DIR"

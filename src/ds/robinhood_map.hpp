@@ -396,6 +396,13 @@ class RobinHoodMap {
            static_cast<double>(capacity_);
   }
 
+  /// The locale whose segment owns `key` (hash-partitioned). Batch drivers
+  /// -- the epoch engine's admit phase above all -- use this to group
+  /// operations by destination before issuing them aggregated.
+  std::uint32_t ownerOfKey(std::uint64_t key) const noexcept {
+    return ownerOf(key);
+  }
+
   /// Aggregate segment health (quiescent-exact).
   RobinHoodStats stats() const {
     RobinHoodStats s;

@@ -37,6 +37,7 @@
 #include "epoch/epoch_manager.hpp"
 #include "epoch/local_epoch_manager.hpp"
 #include "epoch/reclaim_stats.hpp"
+#include "util/backoff.hpp"
 
 namespace pgasnb {
 
@@ -163,6 +164,22 @@ class LocalDomain {
   Guard attach() { return Guard(manager_.acquireToken(), /*pin_now=*/false); }
 
   bool tryReclaim() { return manager_.tryReclaim(); }
+  /// Blocking phase-boundary advance: retries tryReclaim (with backoff)
+  /// until the epoch has moved past the value observed at entry, then
+  /// returns the new epoch. Epochs cycle 1..kNumEpochs, so the move is
+  /// detected by change, not ordering. Requires eventual quiescence --
+  /// every registered token quiescent or pinned in the current epoch --
+  /// or the advance spins forever. The batch engine issues this at phase
+  /// boundaries, where it guarantees exactly that.
+  std::uint64_t advance() {
+    const std::uint64_t entry = manager_.currentEpoch();
+    Backoff backoff;
+    while (manager_.currentEpoch() == entry) {
+      if (manager_.tryReclaim()) break;
+      backoff.pause();
+    }
+    return manager_.currentEpoch();
+  }
   /// Reclaim everything; caller guarantees no concurrent use.
   void clear() { manager_.clear(); }
   std::uint64_t currentEpoch() const noexcept {
@@ -227,6 +244,12 @@ class DistDomain {
   Guard& threadGuard() const { return detail::threadCachedGuard(manager_); }
 
   bool tryReclaim() const { return manager_.tryReclaim(); }
+  /// Blocking phase-boundary advance (paper's opportunistic tryReclaim
+  /// made structural): drives the reclamation protocol until the global
+  /// epoch has moved, returns the new epoch. Same quiescence requirement
+  /// as LocalDomain::advance(); the batch engine (engine/epoch_engine.hpp)
+  /// issues this at every phase boundary, after fencing the AM queues.
+  std::uint64_t advance() const { return manager_.advance(); }
   void clear() const { manager_.clear(); }
   std::uint64_t currentEpoch() const { return manager_.currentGlobalEpoch(); }
   ReclaimStats stats() const { return manager_.stats(); }

@@ -394,6 +394,24 @@ bool epochTryReclaim(Privatized<EpochManagerImpl> handle) {
   return advanced;
 }
 
+std::uint64_t epochAdvance(Privatized<EpochManagerImpl> handle) {
+  EpochManagerImpl& inst = handle.local();
+  // Epoch values cycle 1..kNumEpochs, so "moved past entry" is detected by
+  // *change*, not ordering. One successful epochTryReclaim changes the
+  // value; a concurrent advancer changing it also satisfies the caller
+  // (the boundary needs the epoch to have moved, not to have moved by us).
+  const std::uint64_t entry = inst.global_->epoch.read();
+  Backoff backoff;
+  while (inst.global_->epoch.read() == entry) {
+    if (epochTryReclaim(handle)) break;
+    // Lost the election or the scan found a lagging pinned token; both are
+    // transient under the engine's boundary protocol (all engine guards
+    // are unpinned between collectives, handler guards unpin per AM).
+    backoff.pause();
+  }
+  return inst.global_->epoch.read();
+}
+
 void epochClearAll(Privatized<EpochManagerImpl> handle) {
   // Caller guarantees quiescence of *tasks*, but aggregated/per-op-AM
   // retires may still be in flight: ship anything this task has buffered,

@@ -154,6 +154,14 @@ namespace detail {
 /// Listing 4: attempt to advance the global epoch and reclaim. Returns
 /// true iff the epoch advanced.
 bool epochTryReclaim(Privatized<EpochManagerImpl> handle);
+/// Phase-boundary advance: drive epochTryReclaim (with backoff) until the
+/// global epoch has moved past the value observed at entry; returns the
+/// new epoch. Blocking -- the *structural* advance the batch engine issues
+/// at phase boundaries, as opposed to the opportunistic tryReclaim.
+/// Requires eventual quiescence: every registered token must be (or
+/// become) quiescent or pinned in the current epoch, or the scan never
+/// turns safe and this spins forever.
+std::uint64_t epochAdvance(Privatized<EpochManagerImpl> handle);
 /// Reclaim everything in every epoch; caller guarantees quiescence.
 void epochClearAll(Privatized<EpochManagerImpl> handle);
 }  // namespace detail
@@ -314,6 +322,10 @@ class EpochManager {
   }
 
   bool tryReclaim() const { return detail::epochTryReclaim(handle_); }
+
+  /// Blocking phase-boundary advance (see detail::epochAdvance): retries
+  /// tryReclaim until the global epoch moves, then returns the new epoch.
+  std::uint64_t advance() const { return detail::epochAdvance(handle_); }
 
   /// Reclaim everything across all epochs. Caller guarantees no concurrent
   /// use (paper's `clear`).

@@ -79,3 +79,5 @@
 #include "ds/dist_stack.hpp"
 #include "ds/interlocked_hash_table.hpp"
 #include "ds/robinhood_map.hpp"
+
+#include "engine/epoch_engine.hpp"

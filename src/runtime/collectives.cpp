@@ -3,6 +3,7 @@
 #include <atomic>
 #include <utility>
 
+#include "runtime/comm.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/task.hpp"
 #include "util/check.hpp"
@@ -46,6 +47,12 @@ PendingAnd allLocalesAndAsync(std::function<bool()> f) {
 }
 
 bool allLocalesAnd(const std::function<bool()>& f) {
+  return allLocalesAndAsync(f).wait();
+}
+
+bool epochBoundaryCollective(const std::function<bool()>& f) {
+  comm::taskAggregator().flushAll();
+  comm::quiesceAmQueues();
   return allLocalesAndAsync(f).wait();
 }
 

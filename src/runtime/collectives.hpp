@@ -61,6 +61,18 @@ class PendingAnd {
 /// the scan (the EpochManager's safety scan uses this).
 PendingAnd allLocalesAndAsync(std::function<bool()> f);
 
+/// Epoch-boundary collective (the batch engine's boundary fence): ships
+/// everything the calling task still buffers in its Aggregator, fences
+/// every locale's AM queue -- including the caller's own -- so all
+/// in-flight batched work (aggregated retires above all) has landed, then
+/// runs `f` once on every locale and returns the AND (an
+/// allLocalesAndAsync under the hood: the per-locale bodies execute
+/// concurrently and the join max-folds their simulated times). A boundary
+/// can therefore never strand aggregated ops behind the collective that
+/// decides it, and the reclamation advances that follow see every retire
+/// already sorted into a limbo list.
+bool epochBoundaryCollective(const std::function<bool()>& f);
+
 /// Runs `f` once on every locale; returns the minimum of the results.
 std::uint64_t allLocalesMin(const std::function<std::uint64_t()>& f);
 

@@ -1,0 +1,107 @@
+// Workload generators (bench/workload_gen.hpp): Zipfian skew shape,
+// deterministic seeding, and op-mix ratios.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "workload_gen.hpp"
+
+namespace pgasnb::bench {
+namespace {
+
+TEST(ZipfianGenTest, RankFrequenciesAreMonotoneOverHotRanks) {
+  // Zipf rank-frequency law: rank r must be drawn at least as often as
+  // rank r+1. Enforce it strictly over the hot head (ranks 0..9), where
+  // 200k draws give clean separation at theta = 0.99.
+  constexpr std::uint64_t kKeys = 1024, kDraws = 200000;
+  ZipfianGen gen(kKeys, 0.99, 42);
+  std::vector<std::uint64_t> freq(kKeys, 0);
+  for (std::uint64_t i = 0; i < kDraws; ++i) ++freq[gen.nextRank()];
+
+  for (int r = 0; r < 9; ++r) {
+    EXPECT_GE(freq[r], freq[r + 1])
+        << "rank " << r << " drawn less often than rank " << r + 1;
+  }
+  // YCSB theta=0.99 shape: the hottest rank alone draws a large share.
+  EXPECT_GT(freq[0], kDraws / 20) << "rank 0 is not hot enough for Zipf .99";
+  // Every draw stays in range (freq vector would have thrown otherwise,
+  // but check the tail got *something* -- the distribution has full support).
+  std::uint64_t tail = 0;
+  for (std::uint64_t r = kKeys / 2; r < kKeys; ++r) tail += freq[r];
+  EXPECT_GT(tail, 0u);
+}
+
+TEST(ZipfianGenTest, SameSeedSameSequence) {
+  ZipfianGen a(4096, 0.99, 7), b(4096, 0.99, 7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(ZipfianGenTest, DifferentSeedsDiverge) {
+  ZipfianGen a(4096, 0.99, 7), b(4096, 0.99, 8);
+  int diffs = 0;
+  for (int i = 0; i < 1000; ++i) diffs += a.next() != b.next();
+  EXPECT_GT(diffs, 900);
+}
+
+TEST(ZipfianGenTest, ScrambleIsStablePerN) {
+  // scramble is a pure function of (rank, n): two instances agree, so skew
+  // is coherent across locales and phases.
+  ZipfianGen a(2048, 0.99, 1), b(2048, 0.5, 99);
+  for (std::uint64_t r = 0; r < 64; ++r) {
+    EXPECT_EQ(a.scramble(r), b.scramble(r));
+    EXPECT_LT(a.scramble(r), 2048u);
+  }
+}
+
+TEST(UniformGenTest, SameSeedSameSequenceAndInRange) {
+  UniformGen a(1000, 123), b(1000, 123);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = a.next();
+    ASSERT_EQ(v, b.next());
+    ASSERT_LT(v, 1000u);
+  }
+}
+
+TEST(UniformGenTest, CoversTheKeySpaceRoughlyEvenly) {
+  constexpr std::uint64_t kKeys = 16, kDraws = 160000;
+  UniformGen gen(kKeys, 5);
+  std::vector<std::uint64_t> freq(kKeys, 0);
+  for (std::uint64_t i = 0; i < kDraws; ++i) ++freq[gen.next()];
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    // Expected 10000 per bin; allow a wide +-20% band.
+    EXPECT_GT(freq[k], kDraws / kKeys * 8 / 10);
+    EXPECT_LT(freq[k], kDraws / kKeys * 12 / 10);
+  }
+}
+
+void expectMixRatios(const MixSpec& mix) {
+  constexpr int kDraws = 100000;
+  Xoshiro256 rng(2026);
+  std::array<int, 3> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[pickOp(mix, rng)];
+  const double expected[3] = {mix.read, mix.update, mix.insert};
+  for (int op = 0; op < 3; ++op) {
+    const double got = static_cast<double>(counts[op]) / kDraws;
+    EXPECT_NEAR(got, expected[op], 0.02)
+        << mix.name << " op " << op << " off-ratio";
+  }
+}
+
+TEST(MixSpecTest, PresetRatiosHold) {
+  expectMixRatios(kReadHeavyMix);
+  expectMixRatios(kUpdateHeavyMix);
+  expectMixRatios(kInsertMix);
+}
+
+TEST(SweepGridTest, CrossProductAndPrefill) {
+  const auto grid = sweepGrid({100, 200}, {0.5, 0.9});
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[0].prefill(), 50u);
+  EXPECT_EQ(grid[3].prefill(), 180u);
+}
+
+}  // namespace
+}  // namespace pgasnb::bench
