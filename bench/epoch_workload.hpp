@@ -27,10 +27,19 @@ struct BenchObject {
 
 /// Runs one (locales, mode) cell of a Figure 4/5/6 sweep and returns the
 /// measured deletion time (Listing 5's loop plus the final clear).
+///
+/// Templated over the distributed reclaim domain so the same deletion
+/// workload measures EBR (DistDomain, the default) against interval-based
+/// reclamation (IntervalDomain) -- allocation goes through the domain's
+/// birth-tagging makeOn hook instead of raw gnewOn, everything else is the
+/// shared Listing 5 loop.
+template <ReclaimDomain Domain = DistDomain>
 inline Measurement runEpochWorkload(std::uint32_t locales, CommMode mode,
                                     const EpochWorkload& wl) {
+  static_assert(Domain::kDistributed,
+                "the epoch workload allocates across locales");
   Runtime rt(benchConfig(locales, mode, wl.tasks_per_locale));
-  DistDomain domain = DistDomain::create();
+  Domain domain = Domain::create();
 
   const std::uint64_t num_objects = wl.objs_per_locale * locales;
   CyclicArray<BenchObject*> objs(num_objects);
@@ -47,7 +56,7 @@ inline Measurement runEpochWorkload(std::uint32_t locales, CommMode mode,
         target = static_cast<std::uint32_t>(rng.nextBelow(locales - 1));
         if (target >= home) ++target;
       }
-      objs[i] = gnewOn<BenchObject>(target);
+      objs[i] = Domain::template makeOn<BenchObject>(target);
     }
   }
 
@@ -56,7 +65,8 @@ inline Measurement runEpochWorkload(std::uint32_t locales, CommMode mode,
     objs.forallTasks(
         wl.tasks_per_locale,
         [domain] {
-          return std::pair<DistGuard, std::uint64_t>(domain.attach(), 0);
+          return std::pair<typename Domain::Guard, std::uint64_t>(
+              domain.attach(), 0);
         },
         [reclaim_every](auto& state, std::uint64_t, BenchObject*& obj) {
           auto& [guard, count] = state;
@@ -79,16 +89,20 @@ inline Measurement runEpochWorkload(std::uint32_t locales, CommMode mode,
 }
 
 /// Prints one full figure: locales sweep x {none, ugni} for a fixed
-/// remote-object percentage panel.
+/// remote-object percentage panel. `series_tag` suffixes the series label
+/// (e.g. " [interval]" when sweeping a non-default domain).
+template <ReclaimDomain Domain = DistDomain>
 inline void runEpochFigure(FigureTable& table, const BenchOptions& opts,
-                           const EpochWorkload& base) {
+                           const EpochWorkload& base,
+                           const char* series_tag = "") {
   for (const CommMode mode : {CommMode::none, CommMode::ugni}) {
     for (std::uint32_t locales : opts.localeSweep(2)) {
       EpochWorkload wl = base;
       wl.tasks_per_locale = opts.tasks_per_locale;
-      const Measurement m = runEpochWorkload(locales, mode, wl);
+      const Measurement m = runEpochWorkload<Domain>(locales, mode, wl);
       table.addRow(std::string(toString(mode)) + " / " +
-                       std::to_string(base.remote_pct) + "% remote",
+                       std::to_string(base.remote_pct) + "% remote" +
+                       series_tag,
                    locales, m);
     }
   }

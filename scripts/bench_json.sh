@@ -18,9 +18,16 @@ BUILD_DIR="${PGASNB_BUILD_DIR:-build}"
 OUT_DIR="${PGASNB_BENCH_OUT:-.}"
 BENCH_ARGS="${PGASNB_BENCH_ARGS:---quick}"
 
+# Reclamation/backpressure knobs: pin the defaults explicitly so recorded
+# runs are reproducible even if the config defaults move later. Override
+# any of them in the environment to sweep.
+export PGASNB_RECLAIM_MODE="${PGASNB_RECLAIM_MODE:-epoch}"
+export PGASNB_INTERVAL_ERA_FREQ="${PGASNB_INTERVAL_ERA_FREQ:-128}"
+export PGASNB_DRAIN_DEFERRED_CAP="${PGASNB_DRAIN_DEFERRED_CAP:-4096}"
+
 BENCHES=("$@")
 if [[ ${#BENCHES[@]} -eq 0 ]]; then
-  BENCHES=(fig8_aggregated_retire fig9_async_pop ablation_scatter_list ycsb_like epoch_engine)
+  BENCHES=(fig4_sparse_reclaim fig8_aggregated_retire fig9_async_pop ablation_scatter_list ycsb_like epoch_engine)
 fi
 
 mkdir -p "$OUT_DIR"

@@ -187,13 +187,15 @@ class DistStack {
   std::optional<T> pop(Guard& guard) {
     PGASNB_CHECK_MSG(guard.pinned(), "DistStack::pop requires a pinned guard");
     while (true) {
-      ABA<Node> old_head = head_.readABA();
+      // protect(): EBR passes through; the interval domain widens this
+      // guard's reservation so the snapshot read below stays covered.
+      ABA<Node> old_head = guard.protect([&] { return head_.readABA(); });
       Node* node = old_head.getObject();
       if (node == nullptr) return std::nullopt;
       // The head node may live on any locale: fetch a snapshot (an RDMA
-      // GET under DistDomain, plain loads under LocalDomain). The epoch
-      // pin guarantees the node is not reclaimed underneath us; the ABA
-      // count rejects a stale head at the CAS.
+      // GET under DistDomain, plain loads under LocalDomain). The
+      // protected read guarantees the node is not reclaimed underneath
+      // us; the ABA count rejects a stale head at the CAS.
       Node snapshot;
       if constexpr (Domain::kDistributed) {
         comm::get(&snapshot, Runtime::get().localeOfAddress(node), node,

@@ -106,9 +106,13 @@ class HarrisList {
   /// Lookup; wait-free traversal (skips marked nodes, unlinks nothing).
   std::optional<V> find(Guard& guard, const K& key) const {
     PGASNB_CHECK_MSG(guard.pinned(), "HarrisList ops require a pinned guard");
-    Node* curr = ptrOf(head_->next.load(std::memory_order_acquire));
+    // Each hop's load is protected: a pointer read under protect() stays
+    // covered by this guard's reservation for the rest of the pin.
+    Node* curr = ptrOf(guard.protect(
+        [&] { return head_->next.load(std::memory_order_acquire); }));
     while (curr != nullptr && curr->key < key) {
-      curr = ptrOf(curr->next.load(std::memory_order_acquire));
+      curr = ptrOf(guard.protect(
+          [&] { return curr->next.load(std::memory_order_acquire); }));
     }
     if (curr == nullptr || !(curr->key == key)) return std::nullopt;
     if (isMarked(curr->next.load(std::memory_order_acquire))) {
@@ -140,10 +144,12 @@ class HarrisList {
   void search(Guard& guard, const K& key, Node*& pred, Node*& curr) const {
   retry:
     pred = head_;
-    std::uintptr_t pnext = pred->next.load(std::memory_order_acquire);
+    std::uintptr_t pnext = guard.protect(
+        [&] { return pred->next.load(std::memory_order_acquire); });
     curr = ptrOf(pnext);
     while (curr != nullptr) {
-      const std::uintptr_t cnext = curr->next.load(std::memory_order_acquire);
+      const std::uintptr_t cnext = guard.protect(
+          [&] { return curr->next.load(std::memory_order_acquire); });
       if (isMarked(cnext)) {
         // curr is logically deleted: unlink it from pred.
         std::uintptr_t expected = toWord(curr, false);

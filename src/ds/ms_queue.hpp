@@ -78,7 +78,7 @@ class MsQueue {
     PGASNB_CHECK_MSG(guard.pinned(), "MsQueue::enqueue requires a pinned guard");
     Node* node = Domain::template make<Node>();
     node->value = std::move(value);
-    enqueueNode(node);
+    enqueueNode(guard, node);
   }
 
   /// Non-blocking enqueue: allocate the node here, ship the append loop to
@@ -98,11 +98,11 @@ class MsQueue {
           // cached guard (one token registration per (thread, domain))
           // around the handler instead of registering per message.
           PinScope<Guard> pin(domain().threadGuard());
-          enqueueNode(node);
+          enqueueNode(pin.guard(), node);
         });
       }
     }
-    enqueueNode(node);
+    enqueueNode(guard, node);
     return comm::readyHandle();
   }
 
@@ -135,11 +135,11 @@ class MsQueue {
           // dereferences the observed tail under the progress thread's
           // cached guard.
           PinScope<Guard> pin(domain().threadGuard());
-          enqueueNode(node);
+          enqueueNode(pin.guard(), node);
         });
       }
     }
-    enqueueNode(node);
+    enqueueNode(guard, node);
     return comm::readyHandle();
   }
 
@@ -151,7 +151,10 @@ class MsQueue {
   std::optional<T> dequeue(Guard& guard) {
     PGASNB_CHECK_MSG(guard.pinned(), "MsQueue::dequeue requires a pinned guard");
     while (true) {
-      Node* head = head_.read();
+      // protect(): a pointer read under it stays covered by this guard's
+      // reservation for the rest of the pin (interval domain); EBR passes
+      // through. `tail` is only compared/CASed, never dereferenced here.
+      Node* head = guard.protect([&] { return head_.read(); });
       Node* tail = tail_.read();
       Node* next = loadNext(head);
       if (head != head_.read()) continue;
@@ -255,9 +258,11 @@ class MsQueue {
     Domain::template destroyNode<Node>(node);
   }
 
-  void enqueueNode(Node* node) {
+  void enqueueNode(Guard& guard, Node* node) {
     while (true) {
-      Node* tail = tail_.read();
+      // The observed tail is dereferenced (loadNext/casNext) and may be a
+      // node another task just retired: read it protected.
+      Node* tail = guard.protect([&] { return tail_.read(); });
       Node* next = loadNext(tail);
       if (tail != tail_.read()) continue;  // tail moved under us
       if (next != nullptr) {

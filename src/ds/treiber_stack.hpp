@@ -162,9 +162,11 @@ class EbrStack {
   std::optional<T> pop(Guard& guard) {
     PGASNB_CHECK_MSG(guard.pinned(), "EbrStack::pop requires a pinned guard");
     while (true) {
-      Node* head = head_.read();
+      // protect(): EBR passes through (the pin defers frees); the interval
+      // domain widens this guard's reservation so `head` stays covered.
+      Node* head = guard.protect([&] { return head_.read(); });
       if (head == nullptr) return std::nullopt;
-      Node* next = head->next;  // safe: epoch pin defers frees
+      Node* next = head->next;  // safe: the protected read covers the deref
       if (head_.compareAndSwap(head, next)) {
         std::optional<T> out(std::move(head->value));
         Domain::retireNode(guard, head);

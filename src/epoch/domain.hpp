@@ -13,12 +13,16 @@
 //     guard.tryReclaim();               // opportunistic epoch advance
 //   }                                   // unpin + unregister at scope exit
 //
-// Two models of the `ReclaimDomain` concept are provided:
+// Three models of the `ReclaimDomain` concept are provided:
 //   * LocalDomain -- wraps LocalEpochManager; runtime-free shared-memory
 //     EBR for ordinary multithreaded programs.
 //   * DistDomain  -- wraps the privatized distributed EpochManager; a
 //     trivially copyable record-wrapper handle, capture it by value in
 //     forall/coforall lambdas exactly like EpochManager.
+//   * IntervalDomain (epoch/interval_manager.hpp) -- interval-based
+//     reclamation over the same guard surface; bounded garbage under a
+//     stalled pinned guard (docs/ARCHITECTURE.md, "Choosing a
+//     reclamation domain").
 //
 // Every data structure in src/ds/ is templated over a Domain, so one
 // algorithm body serves both builds; the domain also centralizes node
@@ -95,6 +99,18 @@ class BasicGuard {
     return token_.pendingRetires();
   }
 
+  /// Protected read for domain-generic traversals: evaluate `load` under
+  /// this guard's protection and return its result. EBR tokens pass the
+  /// call through (a pinned token already protects every load); the
+  /// interval token (epoch/interval_manager.hpp) widens its reservation's
+  /// upper bound to the current era first and re-runs `load` if the era
+  /// moved mid-read. Wrap every traversal load of a shared node pointer;
+  /// reads of an already-protected snapshot need no wrapping.
+  template <typename F>
+  auto protect(F&& load) {
+    return token_.protect(std::forward<F>(load));
+  }
+
   /// Attempt an epoch advance + reclamation; non-blocking, returns true
   /// iff this call won the election and advanced the epoch.
   bool tryReclaim() { return token_.tryReclaim(); }
@@ -151,6 +167,13 @@ class LocalDomain {
  public:
   using Guard = LocalGuard;
   static constexpr bool kDistributed = false;
+  /// Reclamation traits, for trait-generic tests and harnesses:
+  /// successful tryReclaim() calls needed after a retire (all guards
+  /// quiescent) before the object is freed, and whether a single lagging
+  /// pinned guard stalls *all* reclamation (EBR) or only the garbage its
+  /// reservation interval covers (interval manager).
+  static constexpr std::uint64_t kGraceAdvances = 3;
+  static constexpr bool kBlocksOnLaggingPin = true;
 
   LocalDomain() = default;
   LocalDomain(const LocalDomain&) = delete;
@@ -186,6 +209,8 @@ class LocalDomain {
     return manager_.currentEpoch();
   }
   ReclaimStats stats() const { return manager_.stats(); }
+  /// Zero the statistics (counters only; call at a quiescent point).
+  void resetStats() { manager_.resetStats(); }
 
   // --- node hooks (used by the Domain-generic data structures) ------------
   template <typename N, typename... Args>
@@ -215,6 +240,10 @@ class DistDomain {
  public:
   using Guard = DistGuard;
   static constexpr bool kDistributed = true;
+  /// Reclamation traits (see LocalDomain): the distributed manager keeps
+  /// the same 4-list, 3-advance grace discipline.
+  static constexpr std::uint64_t kGraceAdvances = 3;
+  static constexpr bool kBlocksOnLaggingPin = true;
 
   DistDomain() = default;  // invalid handle; use create()
 
@@ -253,6 +282,8 @@ class DistDomain {
   void clear() const { manager_.clear(); }
   std::uint64_t currentEpoch() const { return manager_.currentGlobalEpoch(); }
   ReclaimStats stats() const { return manager_.stats(); }
+  /// Zero the statistics on every locale (counters only; quiescent point).
+  void resetStats() const { manager_.resetStats(); }
 
   // --- node hooks ---------------------------------------------------------
   /// Nodes live in the calling locale's arena; reclamation ships each node
@@ -260,6 +291,12 @@ class DistDomain {
   template <typename N, typename... Args>
   static N* make(Args&&... args) {
     return gnew<N>(std::forward<Args>(args)...);
+  }
+  /// Allocate in a specific locale's arena (harnesses that spread nodes
+  /// across owners; make() is makeOn(here)).
+  template <typename N, typename... Args>
+  static N* makeOn(std::uint32_t locale, Args&&... args) {
+    return gnewOn<N>(locale, std::forward<Args>(args)...);
   }
   template <typename N>
   static void destroyNode(N* n) {
@@ -317,10 +354,13 @@ concept ReclaimDomain = requires(D d, const D cd, typename D::Guard g,
                                  void* obj, ObjectDeleter del, int* node) {
   typename D::Guard;
   { D::kDistributed } -> std::convertible_to<bool>;
+  { D::kGraceAdvances } -> std::convertible_to<std::uint64_t>;
+  { D::kBlocksOnLaggingPin } -> std::convertible_to<bool>;
   { d.pin() } -> std::same_as<typename D::Guard>;
   { d.attach() } -> std::same_as<typename D::Guard>;
   { d.tryReclaim() } -> std::convertible_to<bool>;
   { d.clear() };
+  { d.resetStats() };
   { cd.currentEpoch() } -> std::convertible_to<std::uint64_t>;
   { cd.stats() } -> std::convertible_to<ReclaimStats>;
   // node hooks
@@ -337,6 +377,9 @@ concept ReclaimDomain = requires(D d, const D cd, typename D::Guard g,
   { g.flush() };
   { g.pendingRetires() } -> std::convertible_to<std::size_t>;
   { g.tryReclaim() } -> std::convertible_to<bool>;
+  {
+    g.protect([] { return static_cast<int*>(nullptr); })
+  } -> std::same_as<int*>;
 };
 
 static_assert(ReclaimDomain<LocalDomain>);

@@ -157,7 +157,7 @@ void EpochManagerImpl::deferDelete(Token* token, void* obj,
                    "deferDelete requires a pinned token");
   LimboNode* node = node_pool_.acquire(obj, deleter);
   limbo_[limboIndexFor(e)].push(node);
-  deferred_.fetch_add(1, std::memory_order_relaxed);
+  notePendingAfterDefer(1);
   // recycle-pop + exchange + link, all locale-local processor atomics
   sim::charge(Runtime::get().config().latency.cpu_atomic_ns * 3);
 }
@@ -166,7 +166,7 @@ void EpochManagerImpl::insertRemoteRetire(void* obj, ObjectDeleter deleter) {
   LimboNode* node = node_pool_.acquire(obj, deleter);
   const std::uint64_t e = locale_epoch_.load(std::memory_order_seq_cst);
   limbo_[limboIndexFor(e)].push(node);
-  deferred_.fetch_add(1, std::memory_order_relaxed);
+  notePendingAfterDefer(1);
   sim::charge(Runtime::get().config().latency.cpu_atomic_ns * 3);
 }
 
@@ -189,7 +189,7 @@ void EpochManagerImpl::insertRemoteRetires(
   }
   const std::uint64_t e = locale_epoch_.load(std::memory_order_seq_cst);
   limbo_[limboIndexFor(e)].pushChain(first, last);
-  deferred_.fetch_add(entries.size(), std::memory_order_relaxed);
+  notePendingAfterDefer(entries.size());
   // Node recycles (one pool pop per entry) + the single exchange.
   sim::charge(Runtime::get().config().latency.cpu_atomic_ns *
               (entries.size() + 2));
@@ -229,7 +229,18 @@ ReclaimStats EpochManagerImpl::statsSnapshot() const {
   s.elections_lost_global =
       elections_lost_global_.load(std::memory_order_relaxed);
   s.scans_unsafe = scans_unsafe_.load(std::memory_order_relaxed);
+  s.max_pending = max_pending_.load(std::memory_order_relaxed);
   return s;
+}
+
+void EpochManagerImpl::resetStatsHere() {
+  deferred_.store(0, std::memory_order_relaxed);
+  reclaimed_.store(0, std::memory_order_relaxed);
+  advances_.store(0, std::memory_order_relaxed);
+  elections_lost_local_.store(0, std::memory_order_relaxed);
+  elections_lost_global_.store(0, std::memory_order_relaxed);
+  scans_unsafe_.store(0, std::memory_order_relaxed);
+  max_pending_.store(0, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -476,6 +487,13 @@ ReclaimStats EpochManager::stats() const {
     total += implOn(l)->statsSnapshot();
   }
   return total;
+}
+
+void EpochManager::resetStats() const {
+  Runtime& rt = Runtime::get();
+  for (std::uint32_t l = 0; l < rt.numLocales(); ++l) {
+    implOn(l)->resetStatsHere();
+  }
 }
 
 }  // namespace pgasnb

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "epoch/limbo_list.hpp"
@@ -126,9 +127,20 @@ class EpochManagerImpl {
     for (auto& bucket : objs_to_delete_) bucket.clear();
   }
 
+  /// Count `n` fresh deferrals and raise the max_pending high-water mark.
+  void notePendingAfterDefer(std::uint64_t n) noexcept {
+    const std::uint64_t deferred =
+        deferred_.fetch_add(n, std::memory_order_relaxed) + n;
+    detail::raiseMax(max_pending_,
+                     deferred - reclaimed_.load(std::memory_order_relaxed));
+  }
+
   GlobalEpoch& global() noexcept { return *global_; }
 
   ReclaimStats statsSnapshot() const;
+  /// Zero this locale's statistics (counters only; see
+  /// LocalEpochManager::resetStats for the quiescence caveat).
+  void resetStatsHere();
 
   // Fields are accessed directly by the reclaim driver in epoch_manager.cpp
   // and by white-box tests; this type is an implementation detail.
@@ -148,6 +160,7 @@ class EpochManagerImpl {
   std::atomic<std::uint64_t> elections_lost_local_{0};
   std::atomic<std::uint64_t> elections_lost_global_{0};
   std::atomic<std::uint64_t> scans_unsafe_{0};
+  std::atomic<std::uint64_t> max_pending_{0};
 };
 
 namespace detail {
@@ -241,6 +254,14 @@ class EpochToken {
     std::size_t n = 0;
     for (const auto& bucket : pending_remote_) n += bucket.size();
     return n;
+  }
+
+  /// Protected read: pass-through under EBR (a pinned token protects every
+  /// load); the interval manager's token widens its reservation here. See
+  /// BasicGuard::protect (epoch/domain.hpp).
+  template <typename F>
+  auto protect(F&& load) {
+    return std::forward<F>(load)();
   }
 
   /// Attempt a reclamation from this task (paper: "intended to be invoked
@@ -337,6 +358,10 @@ class EpochManager {
 
   /// Summed statistics across locales (diagnostic; quiescent-exact).
   ReclaimStats stats() const;
+
+  /// Zero the statistics on every locale (counters only). Call at a
+  /// quiescent point -- typically right after clear().
+  void resetStats() const;
 
   /// White-box access for tests/benches.
   EpochManagerImpl& implHere() const { return handle_.local(); }

@@ -36,6 +36,12 @@ using ObjectDeleter = void (*)(void*);
 struct LimboNode {
   void* obj = nullptr;
   ObjectDeleter deleter = nullptr;
+  /// Interval-reclamation era tags (epoch/interval_manager.hpp): the era
+  /// the object was allocated in and the era it was retired in. A block is
+  /// freeable once no reservation `[lo, hi]` intersects `[birth,
+  /// retire_era]`. Epoch managers leave both 0 (untagged).
+  std::uint64_t birth = 0;
+  std::uint64_t retire_era = 0;
   std::atomic<LimboNode*> next{nullptr};
   /// Treiber free-stack linkage. Atomic (relaxed) because the pool pop's
   /// optimistic read of a type-stable node races with a concurrent
@@ -116,7 +122,8 @@ class LimboNodePool {
     // owning manager before it destroys the pool.
   }
 
-  LimboNode* acquire(void* obj, ObjectDeleter deleter) {
+  LimboNode* acquire(void* obj, ObjectDeleter deleter, std::uint64_t birth = 0,
+                     std::uint64_t retire_era = 0) {
     LimboNode* node = pop();
     if (node == nullptr) {
       node = Alloc::alloc();
@@ -124,6 +131,8 @@ class LimboNodePool {
     }
     node->obj = obj;
     node->deleter = deleter;
+    node->birth = birth;
+    node->retire_era = retire_era;
     node->next.store(nullptr, std::memory_order_relaxed);
     return node;
   }

@@ -67,7 +67,10 @@ void LocalEpochManager::deferDelete(Token* token, void* obj,
                    "deferDelete requires a pinned token");
   LimboNode* node = node_pool_.acquire(obj, deleter);
   limbo_[limboIndexFor(e)].push(node);
-  deferred_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t deferred =
+      deferred_.fetch_add(1, std::memory_order_relaxed) + 1;
+  detail::raiseMax(max_pending_,
+                   deferred - reclaimed_.load(std::memory_order_relaxed));
 }
 
 std::uint64_t LocalEpochManager::reclaimList(std::uint32_t index) {
@@ -131,7 +134,17 @@ ReclaimStats LocalEpochManager::stats() const {
   // A local domain has only the one locale-local election.
   s.elections_lost_local = elections_lost_.load(std::memory_order_relaxed);
   s.scans_unsafe = scans_unsafe_.load(std::memory_order_relaxed);
+  s.max_pending = max_pending_.load(std::memory_order_relaxed);
   return s;
+}
+
+void LocalEpochManager::resetStats() {
+  deferred_.store(0, std::memory_order_relaxed);
+  reclaimed_.store(0, std::memory_order_relaxed);
+  advances_.store(0, std::memory_order_relaxed);
+  elections_lost_.store(0, std::memory_order_relaxed);
+  scans_unsafe_.store(0, std::memory_order_relaxed);
+  max_pending_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace pgasnb

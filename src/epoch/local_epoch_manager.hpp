@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 
 #include "epoch/limbo_list.hpp"
 #include "epoch/reclaim_stats.hpp"
@@ -54,6 +55,16 @@ class LocalEpochToken {
   void flush() noexcept {}
   std::size_t pendingRetires() const noexcept { return 0; }
 
+  /// Protected read: under EBR a pinned token already protects every load
+  /// (nothing retired since the pin can be freed while it stays pinned), so
+  /// this is a pass-through. Exists so domain-generic traversals can spell
+  /// `guard.protect([...]{ return load(); })` and get interval-domain
+  /// reservation widening for free.
+  template <typename F>
+  auto protect(F&& load) {
+    return std::forward<F>(load)();
+  }
+
   bool tryReclaim();
   void reset();
 
@@ -91,6 +102,11 @@ class LocalEpochManager {
   }
 
   ReclaimStats stats() const;
+  /// Zero every statistic (including the max_pending high-water mark).
+  /// Counters only -- limbo lists and tokens are untouched. Call at a
+  /// quiescent point (typically right after clear()); resetting while
+  /// retires are pending would skew pending() deltas.
+  void resetStats();
 
  private:
   friend class LocalEpochToken;
@@ -119,6 +135,7 @@ class LocalEpochManager {
   std::atomic<std::uint64_t> advances_{0};
   std::atomic<std::uint64_t> elections_lost_{0};
   std::atomic<std::uint64_t> scans_unsafe_{0};
+  std::atomic<std::uint64_t> max_pending_{0};
 };
 
 }  // namespace pgasnb

@@ -13,11 +13,30 @@
 //                          flag (always 0 for a LocalDomain)
 //   scans_unsafe           elections won whose token scan found a pinned
 //                          task outside the current epoch
+//   max_pending            high-water mark of pending() (deferred minus
+//                          reclaimed), updated at every retire. The
+//                          garbage-bound assertions are made against this
+//                          peak, not the instantaneous value.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace pgasnb {
+
+namespace detail {
+
+/// Lock-free fetch-max: raise `peak` to at least `value` (relaxed -- peaks
+/// feed diagnostics and quiescent-exact assertions, not synchronization).
+inline void raiseMax(std::atomic<std::uint64_t>& peak,
+                     std::uint64_t value) noexcept {
+  std::uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !peak.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
 
 struct ReclaimStats {
   std::uint64_t deferred = 0;
@@ -26,6 +45,7 @@ struct ReclaimStats {
   std::uint64_t elections_lost_local = 0;
   std::uint64_t elections_lost_global = 0;
   std::uint64_t scans_unsafe = 0;
+  std::uint64_t max_pending = 0;
 
   std::uint64_t electionsLost() const noexcept {
     return elections_lost_local + elections_lost_global;
@@ -39,6 +59,10 @@ struct ReclaimStats {
     elections_lost_local += o.elections_lost_local;
     elections_lost_global += o.elections_lost_global;
     scans_unsafe += o.scans_unsafe;
+    // Summing per-locale peaks gives a conservative upper bound on the
+    // global peak (the locales need not have peaked simultaneously), which
+    // is the right direction for "pending stayed bounded" assertions.
+    max_pending += o.max_pending;
     return *this;
   }
 };

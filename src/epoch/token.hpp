@@ -67,7 +67,16 @@ struct alignas(kCacheLineSize) Token {
   /// The epoch this task is pinned in (0 = quiescent). Written by the owner
   /// task, read by the advance scan running on the same locale, so plain
   /// processor atomics suffice ("opted out" of network atomics).
+  ///
+  /// Under the interval manager (epoch/interval_manager.hpp) this same
+  /// field is the reservation's *lower* bound `lo` (the era at pin time);
+  /// `interval_upper` below is the matching `hi`. Quiescent is still 0.
   std::atomic<std::uint64_t> local_epoch{kEpochQuiescent};
+
+  /// Reservation upper bound `hi` for the interval manager: widened by
+  /// `Guard::protect()` as the era advances during a pinned traversal.
+  /// Epoch managers leave it quiescent.
+  std::atomic<std::uint64_t> interval_upper{kEpochQuiescent};
 
   Token* next_allocated = nullptr;  ///< append-only allocated-list link
   /// Free-stack link. Atomic because pop's optimistic read (tokens are
@@ -121,6 +130,7 @@ class TokenPool {
   /// Unregister: quiesce and return to the free stack.
   void release(Token* token) noexcept {
     token->local_epoch.store(kEpochQuiescent, std::memory_order_seq_cst);
+    token->interval_upper.store(kEpochQuiescent, std::memory_order_seq_cst);
     while (true) {
       ABA<Token> head = free_.readABA();
       token->next_free.store(head.getObject(), std::memory_order_relaxed);

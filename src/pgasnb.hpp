@@ -72,6 +72,7 @@
 #include "epoch/epoch_manager.hpp"
 #include "epoch/local_epoch_manager.hpp"
 #include "epoch/domain.hpp"
+#include "epoch/interval_manager.hpp"
 
 #include "ds/treiber_stack.hpp"
 #include "ds/ms_queue.hpp"

@@ -22,6 +22,8 @@ struct AtomicCounters {
   std::atomic<std::uint64_t> cq_drained{0};
   std::atomic<std::uint64_t> cq_stolen{0};
   std::atomic<std::uint64_t> continuations_stolen{0};
+  std::atomic<std::uint64_t> backpressure_stalls{0};
+  std::atomic<std::uint64_t> deferred_peak{0};
   std::atomic<std::uint64_t> puts{0};
   std::atomic<std::uint64_t> gets{0};
   std::atomic<std::uint64_t> dcas_local{0};
@@ -245,6 +247,32 @@ void noteCqDrained() noexcept { bump(g_counters.cq_drained); }
 void noteCqStolen() noexcept { bump(g_counters.cq_stolen); }
 void noteContinuationStolen() noexcept {
   bump(g_counters.continuations_stolen);
+}
+
+void noteDeferredDepth(std::size_t depth) noexcept {
+  std::uint64_t cur = g_counters.deferred_peak.load(std::memory_order_relaxed);
+  while (cur < depth && !g_counters.deferred_peak.compare_exchange_weak(
+                            cur, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void throttleDeferredBacklog() {
+  if (!Runtime::active() || taskContext().progress_thread) return;
+  DrainGroup* group = localDrainGroup();
+  if (group == nullptr || !group->saturated()) return;
+  // Reentrancy guard: helpOneDeferred runs foreign bodies, and a body that
+  // itself routes worker continuations must not recursively throttle.
+  static thread_local bool throttling = false;
+  if (throttling) return;
+  throttling = true;
+  bump(g_counters.backpressure_stalls);
+  // Work the backlog down below the throttle mark before producing more.
+  // Bounded: every iteration that keeps looping retired one deferred body,
+  // and a progress thread (which cannot help) never reaches here.
+  while (group->saturated()) {
+    if (!helpOneDeferred()) break;
+  }
+  throttling = false;
 }
 
 }  // namespace detail
@@ -718,10 +746,32 @@ void Aggregator::enqueueWithCore(std::uint32_t loc, std::function<void()> op,
     }
   }
   ++total_pending_;
-  if (bucket.ops.size() >= ops_per_batch_) flush(loc);
+  if (bucket.ops.size() >= ops_per_batch_ && !holdForBackpressure(loc)) {
+    flush(loc);
+  }
   // O(1) age check per enqueue: the full bucket sweep only runs once the
   // earliest deadline across all buckets has actually passed.
   if (sim::now() >= next_age_deadline_) flushAged();
+}
+
+bool Aggregator::holdForBackpressure(std::uint32_t loc) {
+  // Destination throttle: a threshold-full bucket is *held* (keeps
+  // buffering) while the destination's deferred-continuation queue is
+  // saturated, so a stalled locale stops receiving new batches instead of
+  // having its queue grow without bound. Only the threshold path defers to
+  // this -- aged and explicit flushes always ship (forward progress), and
+  // a bucket that reaches 4x the batch threshold ships regardless so one
+  // slow destination cannot pin unbounded memory in the sender.
+  if (!Runtime::active()) return false;
+  Bucket& bucket = buckets_[loc];
+  if (bucket.ops.size() >= std::size_t{4} * ops_per_batch_) return false;
+  if (!Runtime::get().locale(loc).drainGroup().saturated()) return false;
+  if (bucket.ops.size() == ops_per_batch_) {
+    // First decline for this episode; later holds of the same bucket are
+    // the same stall, not new ones.
+    bump(g_counters.backpressure_stalls);
+  }
+  return true;
 }
 
 void Aggregator::flush(std::uint32_t loc) {
@@ -796,6 +846,10 @@ Counters counters() noexcept {
   snapshot.cq_stolen = g_counters.cq_stolen.load(std::memory_order_relaxed);
   snapshot.continuations_stolen =
       g_counters.continuations_stolen.load(std::memory_order_relaxed);
+  snapshot.backpressure_stalls =
+      g_counters.backpressure_stalls.load(std::memory_order_relaxed);
+  snapshot.deferred_peak =
+      g_counters.deferred_peak.load(std::memory_order_relaxed);
   snapshot.puts = g_counters.puts.load(std::memory_order_relaxed);
   snapshot.gets = g_counters.gets.load(std::memory_order_relaxed);
   snapshot.dcas_local = g_counters.dcas_local.load(std::memory_order_relaxed);
@@ -815,6 +869,8 @@ void resetCounters() noexcept {
   g_counters.cq_drained.store(0, std::memory_order_relaxed);
   g_counters.cq_stolen.store(0, std::memory_order_relaxed);
   g_counters.continuations_stolen.store(0, std::memory_order_relaxed);
+  g_counters.backpressure_stalls.store(0, std::memory_order_relaxed);
+  g_counters.deferred_peak.store(0, std::memory_order_relaxed);
   g_counters.puts.store(0, std::memory_order_relaxed);
   g_counters.gets.store(0, std::memory_order_relaxed);
   g_counters.dcas_local.store(0, std::memory_order_relaxed);

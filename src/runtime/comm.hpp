@@ -179,6 +179,14 @@ bool helpOneDeferred();
 /// deadlocking on an idle locale.
 void spinHelpUntilDone(HandleCore& core);
 
+/// Issue-side backpressure gate: when the calling locale's DrainGroup is
+/// saturated (deferred queue at or past half its cap), a task thread about
+/// to defer more work first helps drain the backlog below the throttle
+/// mark (counted once in backpressure_stalls). No-op on progress threads
+/// (they must never run deferred bodies), without a runtime, or when the
+/// cap is 0.
+void throttleDeferredBacklog();
+
 /// The bounded parking slice consumers wait per probe round
 /// (RuntimeConfig::cq_park_slice_us; 200us without a runtime, never 0).
 std::chrono::microseconds cqParkSlice() noexcept;
@@ -268,6 +276,9 @@ std::function<void(std::uint64_t)> routeContinuation(ExecPolicy policy,
                                                      Body body) {
   if (policy == ExecPolicy::worker && Runtime::active()) {
     const std::uint32_t issuer = Runtime::here();
+    // Backpressure: a producer racing ahead of this locale's drainers
+    // works the backlog down before adding to it.
+    throttleDeferredBacklog();
     return [issuer, body = std::move(body)](std::uint64_t join) mutable {
       deferContinuationTo(issuer, [body = std::move(body), join]() mutable {
         sim::joinAtLeast(join);
@@ -946,6 +957,12 @@ class Aggregator {
   /// runtime generation (their closures reference dead objects).
   void adoptRuntime();
 
+  /// Backpressure: true when a threshold-full bucket for `loc` should keep
+  /// buffering because the destination's deferred-continuation queue is
+  /// saturated (see RuntimeConfig::drain_deferred_cap). Aged and explicit
+  /// flushes bypass this, and a bucket at 4x the threshold always ships.
+  bool holdForBackpressure(std::uint32_t loc);
+
   static constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
 
   std::size_t ops_per_batch_;
@@ -1093,6 +1110,11 @@ struct Counters {
                                      ///< (nextFrom / DrainGroup::stealReady)
   std::uint64_t continuations_stolen = 0;  ///< deferred ExecPolicy::worker
                                            ///< bodies executed by task threads
+  std::uint64_t backpressure_stalls = 0;   ///< throttle engagements: issuers
+                                           ///< held/helped on a saturated
+                                           ///< deferred queue
+  std::uint64_t deferred_peak = 0;         ///< deepest any locale's deferred
+                                           ///< queue has been (high-water)
   std::uint64_t puts = 0;
   std::uint64_t gets = 0;
   std::uint64_t dcas_local = 0;

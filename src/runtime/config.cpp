@@ -53,6 +53,25 @@ RemoteRetirePolicy parseRemoteRetirePolicy(const std::string& text,
   return def;
 }
 
+const char* toString(ReclaimMode mode) noexcept {
+  switch (mode) {
+    case ReclaimMode::ebr:
+      return "ebr";
+    case ReclaimMode::interval:
+      return "interval";
+  }
+  return "?";
+}
+
+ReclaimMode parseReclaimMode(const std::string& text, ReclaimMode def) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "ebr" || lower == "epoch") return ReclaimMode::ebr;
+  if (lower == "interval" || lower == "ibr") return ReclaimMode::interval;
+  return def;
+}
+
 namespace {
 
 const char* envOrNull(const char* name) { return std::getenv(name); }
@@ -95,6 +114,17 @@ RuntimeConfig RuntimeConfig::fromEnv() {
     cfg.cq_park_slice_us =
         static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
   }
+  if (const char* v = envOrNull("PGASNB_RECLAIM_MODE")) {
+    cfg.reclaim_mode = parseReclaimMode(v, cfg.reclaim_mode);
+  }
+  if (const char* v = envOrNull("PGASNB_INTERVAL_ERA_FREQ")) {
+    cfg.interval_era_freq =
+        static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+  }
+  if (const char* v = envOrNull("PGASNB_DRAIN_DEFERRED_CAP")) {
+    cfg.drain_deferred_cap =
+        static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+  }
   return cfg;
 }
 
@@ -103,6 +133,8 @@ std::string RuntimeConfig::describe() const {
   os << "locales=" << num_locales << " workers/locale=" << workers_per_locale
      << " comm=" << toString(comm_mode)
      << " retire=" << toString(remote_retire)
+     << " reclaim=" << toString(reclaim_mode)
+     << " drain_cap=" << drain_deferred_cap
      << " inject=" << (inject_delays ? "yes" : "no")
      << " delay_scale=" << latency.delay_scale;
   return os.str();

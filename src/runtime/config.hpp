@@ -51,6 +51,24 @@ RemoteRetirePolicy parseRemoteRetirePolicy(
     const std::string& text,
     RemoteRetirePolicy def = RemoteRetirePolicy::aggregated);
 
+/// Which reclamation protocol DistDomain-style structures should default
+/// to in harnesses that honor it (benches, stress tests):
+///   * ebr      - the paper's epoch-based manager (EpochManager).
+///   * interval - interval-based reclamation (epoch/interval_manager.hpp):
+///                birth-era tagged blocks plus per-guard [lo, hi]
+///                reservations; a lagging pinned guard holds back only the
+///                garbage its interval covers, not all reclamation.
+enum class ReclaimMode : std::uint8_t {
+  ebr,
+  interval,
+};
+
+const char* toString(ReclaimMode mode) noexcept;
+
+/// Parses "ebr"/"interval" (case-insensitive); falls back to `def`.
+ReclaimMode parseReclaimMode(const std::string& text,
+                             ReclaimMode def = ReclaimMode::ebr);
+
 struct RuntimeConfig {
   /// Number of simulated locales (compute nodes). The pointer-compression
   /// scheme supports up to 2^16; see atomic/pointer_compression.hpp.
@@ -65,6 +83,14 @@ struct RuntimeConfig {
 
   /// Cross-locale retire routing (see RemoteRetirePolicy).
   RemoteRetirePolicy remote_retire = RemoteRetirePolicy::aggregated;
+
+  /// Reclamation protocol for mode-aware harnesses (see ReclaimMode).
+  ReclaimMode reclaim_mode = ReclaimMode::ebr;
+
+  /// Interval manager: bump the shared era clock every N retires per locale
+  /// (Hart-style retire-path amortization), so reservations age out even
+  /// between explicit tryReclaim() calls. 0 = only tryReclaim advances.
+  std::uint32_t interval_era_freq = 128;
 
   /// Aggregated retires: entries buffered per (guard, destination) before
   /// the batch is handed to the task's comm::Aggregator.
@@ -88,6 +114,14 @@ struct RuntimeConfig {
   /// woken by the drain group's wake hook.)
   std::uint32_t cq_park_slice_us = 200;
 
+  /// Backpressure: per-locale cap on the DrainGroup's deferred-continuation
+  /// queue (ExecPolicy::worker continuations parked for that locale's
+  /// workers). Issuers start throttling -- holding aggregator batches to a
+  /// saturated destination, helping drain before deferring more -- once the
+  /// queue reaches half this depth, so the bound holds despite in-flight
+  /// batches. 0 = uncapped (no throttling).
+  std::uint32_t drain_deferred_cap = 4096;
+
   LatencyModel latency{};
 
   /// When true, communication costs are also *physically* injected as
@@ -100,8 +134,10 @@ struct RuntimeConfig {
 
   /// Reads PGASNB_NUM_LOCALES, PGASNB_COMM_MODE, PGASNB_WORKERS,
   /// PGASNB_INJECT_DELAYS, PGASNB_DELAY_SCALE, PGASNB_REMOTE_RETIRE,
-  /// PGASNB_RETIRE_BATCH, PGASNB_AGG_OPS_PER_BATCH,
-  /// PGASNB_AGG_MAX_BATCH_AGE, PGASNB_CQ_PARK_SLICE on top of the defaults.
+  /// PGASNB_RECLAIM_MODE, PGASNB_INTERVAL_ERA_FREQ, PGASNB_RETIRE_BATCH,
+  /// PGASNB_AGG_OPS_PER_BATCH, PGASNB_AGG_MAX_BATCH_AGE,
+  /// PGASNB_CQ_PARK_SLICE, PGASNB_DRAIN_DEFERRED_CAP on top of the
+  /// defaults.
   static RuntimeConfig fromEnv();
 
   std::string describe() const;

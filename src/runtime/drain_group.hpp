@@ -69,6 +69,9 @@ struct CqShared {
 // Counter hooks (the process-wide comm counters live in comm.cpp).
 void noteCqStolen() noexcept;
 void noteContinuationStolen() noexcept;
+/// Reports the deferred-queue depth observed right after a defer();
+/// maintains the deferred_peak high-water counter.
+void noteDeferredDepth(std::size_t depth) noexcept;
 
 }  // namespace detail
 
@@ -187,11 +190,14 @@ class DrainGroup {
   /// registry lock.
   void defer(std::function<void()> run) {
     std::function<void()> hook;
+    std::size_t depth;
     {
       std::lock_guard<std::mutex> g(lock_);
       deferred_.push_back(std::move(run));
+      depth = deferred_.size();
       hook = wake_hook_;
     }
+    detail::noteDeferredDepth(depth);
     if (hook) hook();
   }
 
@@ -237,6 +243,35 @@ class DrainGroup {
   bool hasDeferred() const {
     std::lock_guard<std::mutex> g(lock_);
     return !deferred_.empty();
+  }
+
+  /// Current deferred-queue depth (racy snapshot; diagnostics/tests).
+  std::size_t deferredDepth() const {
+    std::lock_guard<std::mutex> g(lock_);
+    return deferred_.size();
+  }
+
+  /// Backpressure cap on the deferred queue (0 = uncapped). defer() itself
+  /// never drops or blocks -- the *issuing* side consults saturated() and
+  /// throttles (holds aggregator batches, helps drain) before producing
+  /// more, so the cap is a contract between producer and group, enforced
+  /// end-to-end rather than at the queue mouth.
+  void setDeferredCap(std::size_t cap) {
+    std::lock_guard<std::mutex> g(lock_);
+    deferred_cap_ = cap;
+  }
+
+  std::size_t deferredCap() const {
+    std::lock_guard<std::mutex> g(lock_);
+    return deferred_cap_;
+  }
+
+  /// True once the queue is at half the cap or beyond: producers start
+  /// throttling early enough that batches already in flight land under the
+  /// cap itself.
+  bool saturated() const {
+    std::lock_guard<std::mutex> g(lock_);
+    return deferred_cap_ != 0 && deferred_.size() * 2 >= deferred_cap_;
   }
 
   /// Currently enrolled (live) queues -- diagnostics and tests.
@@ -289,6 +324,7 @@ class DrainGroup {
   mutable std::mutex lock_;
   std::vector<std::weak_ptr<detail::CqShared>> queues_;
   std::deque<std::function<void()>> deferred_;
+  std::size_t deferred_cap_ = 0;
   std::function<void()> wake_hook_;
 };
 

@@ -1,6 +1,7 @@
 // The unified Domain/Guard reclamation API: one test template instantiated
-// for both models of the ReclaimDomain concept (LocalDomain, DistDomain),
-// plus DistDomain-only coverage of cross-locale retire scattering.
+// for all three models of the ReclaimDomain concept (LocalDomain,
+// DistDomain, IntervalDomain), plus per-domain coverage of cross-locale
+// retire scattering.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -22,8 +23,8 @@ struct Tracked {
 };
 std::atomic<int> Tracked::live{0};
 
-/// Per-domain scaffolding: LocalDomain needs nothing; DistDomain needs a
-/// Runtime and collective create/destroy.
+/// Per-domain scaffolding: LocalDomain needs nothing; the distributed
+/// domains need a Runtime and collective create/destroy.
 template <typename D>
 struct DomainHarness;
 
@@ -47,6 +48,20 @@ struct DomainHarness<DistDomain> {
   DistDomain& get() noexcept { return domain; }
 };
 
+template <>
+struct DomainHarness<IntervalDomain> {
+  std::unique_ptr<Runtime> runtime;
+  IntervalDomain domain;
+  DomainHarness()
+      : runtime(std::make_unique<Runtime>(testConfig(2))),
+        domain(IntervalDomain::create()) {}
+  ~DomainHarness() {
+    domain.destroy();
+    runtime.reset();
+  }
+  IntervalDomain& get() noexcept { return domain; }
+};
+
 template <typename D>
 class DomainApiTest : public ::testing::Test {
  protected:
@@ -55,7 +70,7 @@ class DomainApiTest : public ::testing::Test {
   DomainHarness<D> harness_;
 };
 
-using DomainTypes = ::testing::Types<LocalDomain, DistDomain>;
+using DomainTypes = ::testing::Types<LocalDomain, DistDomain, IntervalDomain>;
 TYPED_TEST_SUITE(DomainApiTest, DomainTypes);
 
 TYPED_TEST(DomainApiTest, ModelsTheConcept) {
@@ -126,24 +141,95 @@ TYPED_TEST(DomainApiTest, TryReclaimFreesAfterGracePeriods) {
   guard.retire(TypeParam::template make<Tracked>());
   guard.unpin();
   EXPECT_EQ(Tracked::live.load(), 1);
-  // Four limbo lists: the third advance reclaims the retire epoch's list.
-  EXPECT_TRUE(guard.tryReclaim());
-  EXPECT_EQ(Tracked::live.load(), 1) << "freed too early";
-  EXPECT_TRUE(guard.tryReclaim());
-  EXPECT_EQ(Tracked::live.load(), 1) << "freed too early";
+  // EBR (kGraceAdvances == 3): four limbo lists, the third advance reclaims
+  // the retire epoch's list. IBR (kGraceAdvances == 1): the first scan with
+  // no covering reservation frees the block.
+  for (std::uint64_t i = 1; i < TypeParam::kGraceAdvances; ++i) {
+    EXPECT_TRUE(guard.tryReclaim());
+    EXPECT_EQ(Tracked::live.load(), 1) << "freed too early (advance " << i
+                                       << ")";
+  }
   EXPECT_TRUE(guard.tryReclaim());
   EXPECT_EQ(Tracked::live.load(), 0);
-  EXPECT_GE(domain.stats().advances, 3u);
+  EXPECT_GE(domain.stats().advances, TypeParam::kGraceAdvances);
 }
 
 TYPED_TEST(DomainApiTest, PinnedLaggingGuardBlocksAdvance) {
   auto& domain = this->domain();
-  auto oldster = domain.pin();  // pinned in the current epoch
+  auto oldster = domain.pin();  // pinned in the current epoch/era
   EXPECT_TRUE(domain.tryReclaim());  // allowed: guard is in current epoch
-  EXPECT_FALSE(domain.tryReclaim()) << "guard now lags: advance must fail";
-  EXPECT_GE(domain.stats().scans_unsafe, 1u);
-  oldster.unpin();
-  EXPECT_TRUE(domain.tryReclaim());
+  if constexpr (TypeParam::kBlocksOnLaggingPin) {
+    // EBR: a pinned guard one epoch behind vetoes every further advance.
+    EXPECT_FALSE(domain.tryReclaim()) << "guard now lags: advance must fail";
+    EXPECT_GE(domain.stats().scans_unsafe, 1u);
+    oldster.unpin();
+    EXPECT_TRUE(domain.tryReclaim());
+  } else {
+    // IBR: the lagging reservation holds back only garbage whose lifetime
+    // interval crosses it. Garbage born after the straggler's pin is freed
+    // while the straggler stays pinned -- the trait the slow-locale
+    // garbage bound rests on.
+    {
+      auto worker = domain.pin();
+      worker.retire(TypeParam::template make<Tracked>());
+    }
+    EXPECT_EQ(Tracked::live.load(), 1);
+    EXPECT_TRUE(domain.tryReclaim()) << "IBR scans never fail for a lag";
+    EXPECT_EQ(Tracked::live.load(), 0)
+        << "straggler must not hold garbage born after its reservation";
+    EXPECT_EQ(domain.stats().scans_unsafe, 0u);
+    oldster.unpin();
+  }
+}
+
+TYPED_TEST(DomainApiTest, StatsTrackMaxPendingAndReset) {
+  auto& domain = this->domain();
+  constexpr int kN = 32;
+  {
+    auto guard = domain.pin();
+    for (int i = 0; i < kN; ++i) {
+      guard.retire(TypeParam::template make<Tracked>());
+    }
+  }
+  EXPECT_GE(domain.stats().max_pending, static_cast<std::uint64_t>(kN));
+  domain.clear();
+  const auto after = domain.stats();
+  EXPECT_EQ(after.pending(), 0u);
+  EXPECT_GE(after.max_pending, static_cast<std::uint64_t>(kN))
+      << "the high-water mark must survive reclamation";
+  domain.resetStats();
+  const auto zeroed = domain.stats();
+  EXPECT_EQ(zeroed.deferred, 0u);
+  EXPECT_EQ(zeroed.reclaimed, 0u);
+  EXPECT_EQ(zeroed.advances, 0u);
+  EXPECT_EQ(zeroed.max_pending, 0u);
+}
+
+TYPED_TEST(DomainApiTest, ProtectedReadSurvivesConcurrentAdvances) {
+  // protect() must return a value that stays covered by the guard's
+  // reservation even when reclamation advances the epoch/era mid-pin: a
+  // block read under protect, then retired by another guard, must not be
+  // freed until the protecting guard unpins.
+  auto& domain = this->domain();
+  auto reader = domain.pin();
+  Tracked* obj = TypeParam::template make<Tracked>();
+  Tracked* seen = reader.protect([&] { return obj; });
+  EXPECT_EQ(seen, obj);
+  {
+    auto worker = domain.pin();
+    worker.retire(obj);
+  }
+  domain.tryReclaim();
+  domain.tryReclaim();
+  domain.tryReclaim();
+  EXPECT_EQ(Tracked::live.load(), 1)
+      << "a protected read must pin the block for the rest of the pin";
+  EXPECT_EQ(seen->payload, 0xC0FFEEu);  // still dereferenceable
+  reader.unpin();
+  while (domain.stats().pending() > 0) {
+    ASSERT_TRUE(domain.tryReclaim());
+  }
+  EXPECT_EQ(Tracked::live.load(), 0);
 }
 
 TYPED_TEST(DomainApiTest, RetireRawRunsCustomDeleter) {
@@ -248,6 +334,48 @@ TEST_F(DistDomainScatterTest, RemoteRetiresAreShippedHome) {
   for (std::uint32_t l = 0; l < nloc; ++l) {
     EXPECT_LE(rt.locale(l).arena().liveBlocks(), live_before[l] + 64)
         << "retired objects must be freed on owning locale " << l;
+  }
+  domain.destroy();
+}
+
+// --- IntervalDomain: cross-locale retire scattering under IBR ---------------
+
+class IntervalDomainScatterTest : public testing::RuntimeTest {};
+
+TEST_F(IntervalDomainScatterTest, RemoteRetiresAreShippedHome) {
+  Tracked::live.store(0);
+  startRuntime(4);
+  IntervalDomain domain = IntervalDomain::create();
+  Runtime& rt = *runtime_;
+  const std::uint32_t nloc = rt.numLocales();
+  std::vector<std::uint64_t> live_before(nloc);
+  for (std::uint32_t l = 0; l < nloc; ++l) {
+    live_before[l] = rt.locale(l).arena().liveBlocks();
+  }
+
+  constexpr int kPerLocale = 48;
+  coforallLocales([domain, nloc] {
+    auto guard = domain.pin();
+    for (int i = 0; i < kPerLocale; ++i) {
+      // Allocate the birth-tagged block on a *different* locale and retire
+      // it here: the scan must sort it into the scatter bucket and free it
+      // (payload dtor + arena return) on its owner.
+      const std::uint32_t target =
+          (Runtime::here() + 1 + static_cast<std::uint32_t>(i) % nloc) % nloc;
+      guard.retire(IntervalDomain::makeOn<Tracked>(target));
+    }
+  });
+
+  // No guard is live: one scan frees everything (kGraceAdvances == 1),
+  // exercising the reservation-scan + scatter path rather than clear().
+  EXPECT_TRUE(domain.tryReclaim());
+  EXPECT_EQ(Tracked::live.load(), 0);
+  const auto s = domain.stats();
+  EXPECT_EQ(s.deferred, static_cast<std::uint64_t>(kPerLocale) * nloc);
+  EXPECT_EQ(s.reclaimed, s.deferred);
+  for (std::uint32_t l = 0; l < nloc; ++l) {
+    EXPECT_LE(rt.locale(l).arena().liveBlocks(), live_before[l] + 64)
+        << "retired blocks must be freed on owning locale " << l;
   }
   domain.destroy();
 }
