@@ -19,15 +19,23 @@
 // clock) in the notes column, which scripts/bench_json.sh records into
 // BENCH_ycsb_like.json.
 //
+// Insert-mix Robin Hood cells deliberately seed the table at half the
+// expected final key count, so the run must cross the create()-time
+// capacity and serve traffic *through* incremental per-segment resize
+// (ISSUE 9); the notes report resizes= and chunks= alongside rejects=.
+//
 // Acceptance (ISSUE 6): at 8 locales, read-heavy + Zipfian, RobinHoodMap
 // must show >= 2x the model-time throughput of InterlockedHashTable -- the
 // aggregated batch path amortizes the wire+service cost that the per-op AM
 // path pays on every lookup, and skew concentrates those AMs on hot owners'
 // progress threads. The bench prints the ratio and a PASS/FAIL verdict and
-// exits non-zero on FAIL so CI can gate on it.
+// exits non-zero on FAIL so CI can gate on it. Acceptance (ISSUE 9): every
+// insert-mix Robin Hood cell must finish with resizes >= 1 and
+// full_rejects == 0, also gated by exit status.
 #include "bench_common.hpp"
 #include "workload_gen.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <mutex>
 
@@ -51,8 +59,10 @@ struct CellResult {
   Measurement m;
   std::uint64_t ops = 0;
   LatencyRecorder lat;
-  bool has_rejects = false;         // robinhood cells only
-  std::uint64_t full_rejects = 0;   // RobinHoodStats::full_rejects
+  bool has_rejects = false;          // robinhood cells only
+  std::uint64_t full_rejects = 0;    // RobinHoodStats::full_rejects
+  std::uint64_t resizes = 0;         // RobinHoodStats::resizes
+  std::uint64_t migrate_chunks = 0;  // RobinHoodStats::migrate_chunks
 };
 
 /// One locale's slice of the mixed phase, generic over the per-op issue
@@ -124,7 +134,19 @@ CellResult runCell(TableKind kind, const MixSpec& mix, KeyDist dist,
   RobinHoodMap<std::uint64_t> rh;
   InterlockedHashTable<std::uint64_t> iht;
   if (kind == TableKind::robinhood) {
-    rh = RobinHoodMap<std::uint64_t>::create(kCapacity, domain);
+    // Insert-mix cells seed the Robin Hood table at half the *final* key
+    // count (prefill + expected fresh inserts), so the run is guaranteed
+    // to cross the create()-time capacity and exercise incremental resize
+    // while serving traffic. The other mixes keep the fixed partition.
+    std::uint64_t rh_capacity = kCapacity;
+    if (mix.insert > 0.0) {
+      const std::uint64_t final_keys =
+          kKeySpace + static_cast<std::uint64_t>(
+                          static_cast<double>(ops_per_locale * locales) *
+                          mix.insert);
+      rh_capacity = std::max<std::uint64_t>(final_keys / 2, locales);
+    }
+    rh = RobinHoodMap<std::uint64_t>::create(rh_capacity, domain);
   } else {
     iht = InterlockedHashTable<std::uint64_t>::create(kCapacity, domain);
   }
@@ -182,7 +204,10 @@ CellResult runCell(TableKind kind, const MixSpec& mix, KeyDist dist,
     PGASNB_CHECK_MSG(rh.validateInvariants(),
                      "ycsb_like: Robin Hood invariants violated after run");
     result.has_rejects = true;
-    result.full_rejects = rh.stats().full_rejects;  // quiescent-exact
+    const auto stats = rh.stats();  // quiescent-exact
+    result.full_rejects = stats.full_rejects;
+    result.resizes = stats.resizes;
+    result.migrate_chunks = stats.migrate_chunks;
     rh.destroy();
   } else {
     iht.destroy();
@@ -206,6 +231,7 @@ int main(int argc, char** argv) {
   double at8_rh_thr = 0.0;
   double at8_iht_thr = 0.0;
   bool insert_rejected = false;
+  bool insert_mix_resized = true;
   for (std::uint32_t locales = 1;
        locales <= std::min(opts.max_locales, 8u); locales *= 2) {
     for (TableKind kind : kTables) {
@@ -224,9 +250,10 @@ int main(int argc, char** argv) {
           char notes[192];
           if (r.has_rejects) {
             std::snprintf(notes, sizeof(notes),
-                          "ops=%" PRIu64 " thr=%.2fMops %s rejects=%" PRIu64,
+                          "ops=%" PRIu64 " thr=%.2fMops %s rejects=%" PRIu64
+                          " resizes=%" PRIu64 " chunks=%" PRIu64,
                           r.ops, thr * 1e-6, r.lat.summary().c_str(),
-                          r.full_rejects);
+                          r.full_rejects, r.resizes, r.migrate_chunks);
           } else {
             std::snprintf(notes, sizeof(notes),
                           "ops=%" PRIu64 " thr=%.2fMops %s", r.ops,
@@ -236,11 +263,18 @@ int main(int argc, char** argv) {
           if (r.has_rejects && mix.insert > 0.0 && r.full_rejects > 0) {
             std::fprintf(stderr,
                          "ycsb_like: %s/%s at %u locales rejected %" PRIu64
-                         " insert(s) on full segments -- capacity %" PRIu64
-                         " cannot absorb the insert mix at this scale\n",
-                         mix.name, toString(dist), locales, r.full_rejects,
-                         kCapacity);
+                         " insert(s) on full segments -- incremental resize "
+                         "failed to absorb the insert mix at this scale\n",
+                         mix.name, toString(dist), locales, r.full_rejects);
             insert_rejected = true;
+          }
+          if (r.has_rejects && mix.insert > 0.0 && r.resizes == 0) {
+            std::fprintf(stderr,
+                         "ycsb_like: %s/%s at %u locales never resized -- "
+                         "the cell was seeded too large to cross its "
+                         "create()-time capacity\n",
+                         mix.name, toString(dist), locales);
+            insert_mix_resized = false;
           }
           if (locales == 8 && mix.read == kReadHeavyMix.read &&
               dist == KeyDist::zipfian) {
@@ -253,10 +287,15 @@ int main(int argc, char** argv) {
   }
   table.print();
 
-  if (insert_rejected) {
-    std::printf("\ninsert-mix check (no full-segment rejects): FAIL\n");
+  if (insert_rejected || !insert_mix_resized) {
+    std::printf(
+        "\ninsert-mix check (crosses seed capacity, no full-segment "
+        "rejects): FAIL\n");
     return 1;
   }
+  std::printf(
+      "\ninsert-mix check (crosses seed capacity, no full-segment rejects): "
+      "PASS\n");
 
   if (opts.max_locales < 8) {
     std::printf("acceptance check skipped (needs --max-locales >= 8)\n");

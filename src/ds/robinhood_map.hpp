@@ -1,10 +1,10 @@
 // RobinHoodMap: a distributed open-addressed hash table with Robin Hood
 // probing -- the successor to InterlockedHashTable's closed chaining.
 //
-// Layout. The slot array is partitioned into one *contiguous segment per
-// locale*, each living entirely in its owner's arena. A key's hash picks a
-// global home slot; the segment containing that home slot is the key's
-// owner, and the probe sequence wraps *within* that segment (segments are
+// Layout. The slot space is partitioned into one *segment per locale*. A
+// key's hash picks a global home slot in the fixed create()-time partition;
+// the segment containing that home slot is the key's owner, and the probe
+// sequence wraps *within* that segment's current table (segments are
 // independent Robin Hood tables, so displacement never crosses a locale
 // boundary -- the distributed analogue of per-bucket locality). Slots are
 // 16-byte (key, value) pairs accessed with the same double-word atomics the
@@ -25,17 +25,39 @@
 // serialization buys the same atomicity with processor-local cost. Lookups
 // never take the lock: a probe is a wait-free scan of atomic 16-byte slots
 // validated by a per-segment seqlock version -- structural mutations
-// (swap chains, backward shifts) bump the version, single-slot placements
-// and in-place value updates do not, so read-mostly traffic revalidates
-// only when entries actually moved underneath it.
+// (swap chains, backward shifts, migration chunks) bump the version,
+// single-slot placements and in-place value updates do not, so read-mostly
+// traffic revalidates only when entries actually moved underneath it.
 //
-// Reclamation. Values live *inline* in the slot array -- nothing is ever
-// unlinked, so there is no deferred reclamation and readers cannot touch
-// freed memory by construction. The Domain parameter therefore selects the
-// execution model (DistDomain: privatized segments + operation shipping;
-// LocalDomain: one in-place segment, no runtime), not a reclaim protocol;
-// the table shares the caller's domain purely for lifecycle symmetry with
-// the other five structures.
+// Incremental resize. When a segment's occupancy crosses
+// `RobinHoodOptions::resize_load` (default from RuntimeConfig's
+// `rh_resize_load` / PGASNB_RH_RESIZE_LOAD), the owner allocates a doubled
+// *shadow* table and publishes it under a seqlock bump. From then on the
+// segment is mid-migration:
+//   * every owner-serialized mutation (and, under a distributed domain, a
+//     self-targeted progress-thread pump AM) moves a bounded chunk
+//     (`migrate_chunk` entries) from the old table into the shadow, under
+//     an odd seqlock window;
+//   * chunks only pause at *run boundaries* (the cursor always rests on an
+//     empty slot), so the old table's displacement invariant -- and with it
+//     Robin Hood early termination -- keeps holding for concurrent readers
+//     mid-migration;
+//   * new inserts land in the shadow; lookups/updates/erases check the old
+//     table first, then the shadow (a key lives in exactly one of them);
+//   * wait-free readers probe old-then-new under seqlock validation, with
+//     both table pointers read through `guard.protect()` -- the retired old
+//     table goes through the map's ReclaimDomain, so an in-flight reader
+//     (or findBatch snapshot) can keep probing a table that has already
+//     been swapped out.
+// Under a LocalDomain there is no progress thread, so migration advances
+// purely by piggybacking on mutations (including erase of an absent key) --
+// which is exactly what the deterministic tests want.
+//
+// Reclamation. Values live *inline* in the slot array, so ordinary churn
+// defers nothing; the Domain's reclamation machinery is exercised only by
+// resize, which retires whole old tables through `Domain::retireNode`.
+// Every read path therefore runs under a Domain guard (progress threads
+// reuse their thread-cached guard; task threads pin per op).
 //
 // Async surface. Every op has handle-returning (`*Async`) and aggregated
 // (`*AsyncAggregated`, riding the calling task's comm::Aggregator and
@@ -43,18 +65,21 @@
 // batched lookup op per destination locale for windowed joins.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <optional>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "atomic/dcas.hpp"
 #include "epoch/domain.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/config.hpp"
 #include "runtime/privatization.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/sim_clock.hpp"
@@ -67,10 +92,30 @@ namespace pgasnb {
 
 /// Aggregate health snapshot of a RobinHoodMap (see RobinHoodMap::stats).
 struct RobinHoodStats {
-  std::uint64_t slots = 0;         ///< total slot capacity
-  std::uint64_t used = 0;          ///< occupied slots
+  std::uint64_t slots = 0;  ///< live slot capacity (sums each segment's
+                            ///< current table -- the shadow's size while a
+                            ///< segment is mid-migration)
+  std::uint64_t used = 0;   ///< occupied slots
   std::uint64_t max_displacement = 0;  ///< worst probe distance in the table
   std::uint64_t full_rejects = 0;  ///< inserts refused by a full segment
+  std::uint64_t resizes = 0;           ///< shadow tables started
+  std::uint64_t migrate_chunks = 0;    ///< bounded migration steps executed
+  std::uint64_t migrated_entries = 0;  ///< entries moved old -> shadow
+  std::uint64_t migrating_segments = 0;  ///< segments currently mid-migration
+};
+
+/// Tuning for RobinHoodMap's incremental resize. create() without options
+/// resolves the defaults from RuntimeConfig (`rh_resize_load`,
+/// `rh_migrate_chunk`) when a runtime is active.
+struct RobinHoodOptions {
+  /// Per-segment load factor that starts a doubling; <= 0 disables resize
+  /// entirely (a full segment then rejects inserts, counted in
+  /// stats().full_rejects -- the pre-resize behaviour).
+  double resize_load = 0.85;
+  /// Migration chunk bound: each mutation / pump step moves at most this
+  /// many entries (rounded up to the enclosing probe run, so readers keep
+  /// early-terminating correctly on the old table).
+  std::uint32_t migrate_chunk = 64;
 };
 
 template <typename V, ReclaimDomain Domain = DistDomain>
@@ -84,19 +129,18 @@ class RobinHoodMap {
   static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
 
  private:
-  /// One locale's contiguous slice of the slot array plus its writer lock
-  /// and seqlock version. Slots are raw U128s (lo = key, hi = value bits)
-  /// accessed exclusively through the __atomic 16-byte ops.
-  struct Segment {
+  /// One Robin Hood slot array. A segment owns one (plus a second, doubled
+  /// one while mid-migration). Slots are raw U128s (lo = key, hi = value
+  /// bits) accessed exclusively through the __atomic 16-byte ops; `used`
+  /// tracks this table's occupancy alone (the segment-level counter spans
+  /// both tables during migration). Allocated via Domain::make so retired
+  /// tables flow through the domain (IntervalDomain birth-tags the block).
+  struct Table {
     U128* slots = nullptr;
     std::uint64_t nslots = 0;
-    std::atomic<std::uint64_t> version{0};  ///< seqlock: odd = moving slots
-    std::atomic<std::uint32_t> lock{0};     ///< writer spinlock (TAS)
     std::atomic<std::uint64_t> used{0};
-    std::atomic<std::uint64_t> full_rejects{0};
-    std::atomic<std::uint64_t> max_disp{0};
 
-    explicit Segment(std::uint64_t n) : nslots(n) {
+    explicit Table(std::uint64_t n) : nslots(n) {
       if constexpr (Domain::kDistributed) {
         slots = static_cast<U128*>(
             Runtime::get().allocateOn(Runtime::here(), n * sizeof(U128)));
@@ -107,12 +151,48 @@ class RobinHoodMap {
       std::memset(static_cast<void*>(slots), 0xFF, n * sizeof(U128));
     }
 
-    ~Segment() {
+    ~Table() {
       if constexpr (Domain::kDistributed) {
         Runtime::get().deallocateLocal(slots, nslots * sizeof(U128));
       } else {
         delete[] slots;
       }
+    }
+
+    Table(const Table&) = delete;
+    Table& operator=(const Table&) = delete;
+  };
+
+  /// One locale's segment: the current table, the shadow table while a
+  /// resize is in flight (`shadow != nullptr` <=> mid-migration), the
+  /// writer lock, the seqlock version, and the migration cursor (owner-only
+  /// state, mutated under the writer lock; the cursor always rests on an
+  /// empty old-table slot so the emptied region is a whole number of runs).
+  struct Segment {
+    std::atomic<Table*> cur{nullptr};
+    std::atomic<Table*> shadow{nullptr};
+    std::atomic<std::uint64_t> version{0};  ///< seqlock: odd = moving slots
+    std::atomic<std::uint32_t> lock{0};     ///< writer spinlock (TAS)
+    std::atomic<std::uint64_t> used{0};     ///< across both tables
+    std::atomic<std::uint64_t> full_rejects{0};
+    std::atomic<std::uint64_t> max_disp{0};
+    std::atomic<std::uint64_t> resizes{0};
+    std::atomic<std::uint64_t> migrate_chunks{0};
+    std::atomic<std::uint64_t> migrated_entries{0};
+    std::atomic<bool> pump_active{false};  ///< a migration pump AM is live
+    std::uint64_t migrate_pos = 0;   ///< next old-table slot to drain
+    std::uint64_t migrate_left = 0;  ///< old-table slots not yet drained
+
+    explicit Segment(std::uint64_t n) {
+      cur.store(Domain::template make<Table>(n), std::memory_order_release);
+    }
+
+    ~Segment() {
+      if (Table* t = shadow.load(std::memory_order_relaxed)) {
+        Domain::template destroyNode<Table>(t);
+      }
+      Domain::template destroyNode<Table>(
+          cur.load(std::memory_order_relaxed));
     }
 
     Segment(const Segment&) = delete;
@@ -123,12 +203,21 @@ class RobinHoodMap {
   RobinHoodMap() = default;  // invalid; use create()
 
   /// Collective under DistDomain: rounds `capacity` up to a whole number of
-  /// slots per locale and carves one contiguous segment out of each
-  /// locale's arena. The capacity is fixed for the table's lifetime (no
-  /// resize); size workloads against `stats().used` / `loadFactor()`.
+  /// slots per locale and gives each locale one segment of that size. The
+  /// *partition* (which locale owns which key) is fixed for the table's
+  /// lifetime; each segment grows independently by incremental doubling
+  /// once it crosses `options.resize_load` (see file header).
   static RobinHoodMap create(std::uint64_t capacity, Domain& domain) {
+    return create(capacity, domain, defaultOptions());
+  }
+
+  static RobinHoodMap create(std::uint64_t capacity, Domain& domain,
+                             const RobinHoodOptions& options) {
     RobinHoodMap map;
     map.domain_ = DomainRef<Domain>(domain);
+    map.resize_load_ = options.resize_load;
+    map.migrate_chunk_ =
+        options.migrate_chunk == 0 ? 1 : options.migrate_chunk;
     if constexpr (Domain::kDistributed) {
       map.num_locales_ = Runtime::get().numLocales();
     } else {
@@ -148,11 +237,41 @@ class RobinHoodMap {
     return map;
   }
 
-  /// Teardown (collective under DistDomain). No deferred nodes exist --
-  /// inline slots -- so this only frees the segments.
+  /// Resize defaults: RuntimeConfig's knobs when a runtime is active,
+  /// otherwise the RobinHoodOptions member initializers.
+  static RobinHoodOptions defaultOptions() {
+    RobinHoodOptions options;
+    if (Runtime::active()) {
+      const RuntimeConfig& cfg = Runtime::get().config();
+      options.resize_load = cfg.rh_resize_load;
+      options.migrate_chunk = cfg.rh_migrate_chunk;
+    }
+    return options;
+  }
+
+  /// Teardown (collective under DistDomain). Waits out any in-flight
+  /// migration pump (it holds a raw segment pointer), then frees the
+  /// segments; tables already *retired* by completed migrations are the
+  /// domain's to reclaim. pump_active is read under the writer lock: the
+  /// pump clears it inside its own locked region and touches nothing
+  /// afterwards, so lock-acquire here synchronizes with the pump's
+  /// lock-release and a false flag means no pump AM still holds the
+  /// segment pointer (see pumpStep()).
   void destroy() {
     if (!valid()) return;
     if constexpr (Domain::kDistributed) {
+      auto segments = segments_;
+      coforallLocales([segments] {
+        Segment& seg = segments.local();
+        Backoff backoff;
+        for (;;) {
+          {
+            SegLock hold(seg);
+            if (!seg.pump_active.load(std::memory_order_acquire)) break;
+          }
+          backoff.pause();
+        }
+      });
       segments_.destroy();
     } else {
       delete local_segment_;
@@ -174,13 +293,14 @@ class RobinHoodMap {
   // --- synchronous surface -------------------------------------------------
 
   /// Insert (key, value); false if the key already exists (or the owning
-  /// segment is full -- counted in stats().full_rejects).
+  /// segment is full with resize disabled -- counted in
+  /// stats().full_rejects).
   bool insert(std::uint64_t key, const V& value) const {
     const std::uint64_t vbits = packValue(value);
     bool inserted = false;
-    onOwner(key, [&](Segment& seg, std::uint64_t home) {
-      inserted = segPut(seg, key, vbits, home,
-                        /*assign=*/false) == PutOutcome::inserted;
+    onOwner(key, [&](Segment& seg) {
+      inserted = ownerPut(seg, key, vbits, /*assign=*/false) ==
+                 PutOutcome::inserted;
     });
     return inserted;
   }
@@ -190,17 +310,17 @@ class RobinHoodMap {
   bool put(std::uint64_t key, const V& value) const {
     const std::uint64_t vbits = packValue(value);
     bool inserted = false;
-    onOwner(key, [&](Segment& seg, std::uint64_t home) {
-      inserted = segPut(seg, key, vbits, home,
-                        /*assign=*/true) == PutOutcome::inserted;
+    onOwner(key, [&](Segment& seg) {
+      inserted = ownerPut(seg, key, vbits, /*assign=*/true) ==
+                 PutOutcome::inserted;
     });
     return inserted;
   }
 
   std::optional<V> find(std::uint64_t key) const {
     std::optional<V> out;
-    onOwner(key, [&](Segment& seg, std::uint64_t home) {
-      if (auto bits = segFind(seg, key, home)) out = unpackValue(*bits);
+    onOwner(key, [&](Segment& seg) {
+      if (auto bits = ownerFind(seg, key)) out = unpackValue(*bits);
     });
     return out;
   }
@@ -208,11 +328,12 @@ class RobinHoodMap {
   bool contains(std::uint64_t key) const { return find(key).has_value(); }
 
   /// Remove the key (backward-shift deletion; no tombstones); returns its
-  /// value if it was present.
+  /// value if it was present. Mid-migration, an erase -- hit or miss --
+  /// also drains one migration chunk.
   std::optional<V> erase(std::uint64_t key) const {
     std::optional<V> out;
-    onOwner(key, [&](Segment& seg, std::uint64_t home) {
-      if (auto bits = segErase(seg, key, home)) out = unpackValue(*bits);
+    onOwner(key, [&](Segment& seg) {
+      if (auto bits = ownerErase(seg, key)) out = unpackValue(*bits);
     });
     return out;
   }
@@ -226,9 +347,8 @@ class RobinHoodMap {
   comm::Handle<bool> insertAsync(std::uint64_t key, const V& value) const {
     const std::uint64_t vbits = packValue(value);
     return shipValueOp<bool>(key, [key, vbits](RobinHoodMap map,
-                                               Segment& seg,
-                                               std::uint64_t home) {
-      return map.segPut(seg, key, vbits, home, /*assign=*/false) ==
+                                               Segment& seg) {
+      return map.ownerPut(seg, key, vbits, /*assign=*/false) ==
              PutOutcome::inserted;
     });
   }
@@ -236,18 +356,17 @@ class RobinHoodMap {
   comm::Handle<bool> putAsync(std::uint64_t key, const V& value) const {
     const std::uint64_t vbits = packValue(value);
     return shipValueOp<bool>(key, [key, vbits](RobinHoodMap map,
-                                               Segment& seg,
-                                               std::uint64_t home) {
-      return map.segPut(seg, key, vbits, home, /*assign=*/true) ==
+                                               Segment& seg) {
+      return map.ownerPut(seg, key, vbits, /*assign=*/true) ==
              PutOutcome::inserted;
     });
   }
 
   comm::Handle<std::optional<V>> findAsync(std::uint64_t key) const {
     return shipValueOp<std::optional<V>>(
-        key, [key](RobinHoodMap map, Segment& seg, std::uint64_t home) {
+        key, [key](RobinHoodMap map, Segment& seg) {
           std::optional<V> out;
-          if (auto bits = map.segFind(seg, key, home)) {
+          if (auto bits = map.ownerFind(seg, key)) {
             out = unpackValue(*bits);
           }
           return out;
@@ -255,17 +374,16 @@ class RobinHoodMap {
   }
 
   comm::Handle<bool> containsAsync(std::uint64_t key) const {
-    return shipValueOp<bool>(
-        key, [key](RobinHoodMap map, Segment& seg, std::uint64_t home) {
-          return map.segFind(seg, key, home).has_value();
-        });
+    return shipValueOp<bool>(key, [key](RobinHoodMap map, Segment& seg) {
+      return map.ownerFind(seg, key).has_value();
+    });
   }
 
   comm::Handle<std::optional<V>> eraseAsync(std::uint64_t key) const {
     return shipValueOp<std::optional<V>>(
-        key, [key](RobinHoodMap map, Segment& seg, std::uint64_t home) {
+        key, [key](RobinHoodMap map, Segment& seg) {
           std::optional<V> out;
-          if (auto bits = map.segErase(seg, key, home)) {
+          if (auto bits = map.ownerErase(seg, key)) {
             out = unpackValue(*bits);
           }
           return out;
@@ -284,9 +402,8 @@ class RobinHoodMap {
                                            const V& value) const {
     const std::uint64_t vbits = packValue(value);
     return shipAggregated<bool>(key, [key, vbits](RobinHoodMap map,
-                                                  Segment& seg,
-                                                  std::uint64_t home) {
-      return map.segPut(seg, key, vbits, home, /*assign=*/false) ==
+                                                  Segment& seg) {
+      return map.ownerPut(seg, key, vbits, /*assign=*/false) ==
              PutOutcome::inserted;
     });
   }
@@ -295,18 +412,17 @@ class RobinHoodMap {
                                         const V& value) const {
     const std::uint64_t vbits = packValue(value);
     return shipAggregated<bool>(key, [key, vbits](RobinHoodMap map,
-                                                  Segment& seg,
-                                                  std::uint64_t home) {
-      return map.segPut(seg, key, vbits, home, /*assign=*/true) ==
+                                                  Segment& seg) {
+      return map.ownerPut(seg, key, vbits, /*assign=*/true) ==
              PutOutcome::inserted;
     });
   }
 
   comm::Handle<std::optional<V>> findAsyncAggregated(std::uint64_t key) const {
     return shipAggregated<std::optional<V>>(
-        key, [key](RobinHoodMap map, Segment& seg, std::uint64_t home) {
+        key, [key](RobinHoodMap map, Segment& seg) {
           std::optional<V> out;
-          if (auto bits = map.segFind(seg, key, home)) {
+          if (auto bits = map.ownerFind(seg, key)) {
             out = unpackValue(*bits);
           }
           return out;
@@ -315,9 +431,9 @@ class RobinHoodMap {
 
   comm::Handle<std::optional<V>> eraseAsyncAggregated(std::uint64_t key) const {
     return shipAggregated<std::optional<V>>(
-        key, [key](RobinHoodMap map, Segment& seg, std::uint64_t home) {
+        key, [key](RobinHoodMap map, Segment& seg) {
           std::optional<V> out;
-          if (auto bits = map.segErase(seg, key, home)) {
+          if (auto bits = map.ownerErase(seg, key)) {
             out = unpackValue(*bits);
           }
           return out;
@@ -327,11 +443,11 @@ class RobinHoodMap {
   /// Batched lookup for windowed joins: `keys[i]`'s result lands in
   /// `out[i]`. Keys are grouped by owning locale and each group ships as
   /// ONE aggregated op (weight = group size) that probes every key of the
-  /// group in a single handler pass -- the per-destination cost is one
-  /// batch share regardless of how many keys hit that locale, which is
-  /// what makes skewed (hot-owner) traffic cheap. The returned handle
-  /// completes when every group has; `out` must stay alive and untouched
-  /// until then.
+  /// group in a single handler pass under a single guard pin -- the
+  /// per-destination cost is one batch share regardless of how many keys
+  /// hit that locale, which is what makes skewed (hot-owner) traffic
+  /// cheap. The returned handle completes when every group has; `out` must
+  /// stay alive and untouched until then.
   comm::Handle<> findBatch(std::span<const std::uint64_t> keys,
                            std::span<std::optional<V>> out) const {
     PGASNB_CHECK_MSG(keys.size() == out.size(),
@@ -355,14 +471,15 @@ class RobinHoodMap {
         auto probe_group = [map, keys, out,
                             idxs = std::move(groups[loc])] {
           Segment& seg = map.segments_.local();
-          for (const std::uint32_t i : idxs) {
-            const std::uint64_t key = keys[i];
-            std::optional<V> r;
-            if (auto bits = map.segFind(seg, key, map.homeOf(key))) {
-              r = unpackValue(*bits);
+          map.withGuard([&](auto& guard) {
+            for (const std::uint32_t i : idxs) {
+              std::optional<V> r;
+              if (auto bits = map.segFind(seg, keys[i], guard)) {
+                r = unpackValue(*bits);
+              }
+              out[i] = r;
             }
-            out[i] = r;
-          }
+          });
         };
         if (loc == here) {
           probe_group();
@@ -378,6 +495,9 @@ class RobinHoodMap {
 
   // --- introspection -------------------------------------------------------
 
+  /// The create()-time slot count -- the fixed hash *partition*, not the
+  /// live capacity: segments grow past it by doubling. For live capacity
+  /// use stats().slots.
   std::uint64_t capacity() const noexcept { return capacity_; }
 
   /// Total occupied slots (quiescent-exact, otherwise approximate).
@@ -391,50 +511,80 @@ class RobinHoodMap {
     }
   }
 
+  /// used / live slots (stats()-based, so mid-migration segments count
+  /// their shadow's capacity).
   double loadFactor() const {
-    return static_cast<double>(sizeApprox()) /
-           static_cast<double>(capacity_);
+    const RobinHoodStats s = stats();
+    return s.slots == 0
+               ? 0.0
+               : static_cast<double>(s.used) / static_cast<double>(s.slots);
   }
 
   /// The locale whose segment owns `key` (hash-partitioned). Batch drivers
   /// -- the epoch engine's admit phase above all -- use this to group
-  /// operations by destination before issuing them aggregated.
+  /// operations by destination before issuing them aggregated. Stable
+  /// across resizes: the partition is fixed even as segments grow.
   std::uint32_t ownerOfKey(std::uint64_t key) const noexcept {
     return ownerOf(key);
   }
 
-  /// Aggregate segment health (quiescent-exact).
+  /// Aggregate segment health (quiescent-exact; mid-migration, `slots`
+  /// counts each migrating segment's shadow table and `used` stays the
+  /// true entry count -- entries are never double-counted because each
+  /// lives in exactly one table).
   RobinHoodStats stats() const {
     RobinHoodStats s;
-    s.slots = capacity_;
     if constexpr (Domain::kDistributed) {
-      std::atomic<std::uint64_t> used{0}, rejects{0}, max_disp{0};
-      auto segments = segments_;
-      coforallLocales([segments, &used, &rejects, &max_disp] {
-        Segment& seg = segments.local();
+      std::atomic<std::uint64_t> slots{0}, used{0}, rejects{0}, max_disp{0};
+      std::atomic<std::uint64_t> resizes{0}, chunks{0}, migrated{0},
+          migrating{0};
+      auto map = *this;
+      coforallLocales([map, &slots, &used, &rejects, &max_disp, &resizes,
+                       &chunks, &migrated, &migrating] {
+        Segment& seg = map.segments_.local();
+        const auto live = map.liveExtent(seg);
+        slots.fetch_add(live.first);
+        if (live.second) migrating.fetch_add(1);
         used.fetch_add(seg.used.load());
         rejects.fetch_add(seg.full_rejects.load());
+        resizes.fetch_add(seg.resizes.load());
+        chunks.fetch_add(seg.migrate_chunks.load());
+        migrated.fetch_add(seg.migrated_entries.load());
         std::uint64_t d = seg.max_disp.load();
         std::uint64_t seen = max_disp.load();
         while (seen < d && !max_disp.compare_exchange_weak(seen, d)) {
         }
       });
+      s.slots = slots.load();
       s.used = used.load();
       s.full_rejects = rejects.load();
       s.max_displacement = max_disp.load();
+      s.resizes = resizes.load();
+      s.migrate_chunks = chunks.load();
+      s.migrated_entries = migrated.load();
+      s.migrating_segments = migrating.load();
     } else {
-      s.used = local_segment_->used.load();
-      s.full_rejects = local_segment_->full_rejects.load();
-      s.max_displacement = local_segment_->max_disp.load();
+      Segment& seg = *local_segment_;
+      const auto live = liveExtent(seg);
+      s.slots = live.first;
+      s.migrating_segments = live.second ? 1 : 0;
+      s.used = seg.used.load();
+      s.full_rejects = seg.full_rejects.load();
+      s.max_displacement = seg.max_disp.load();
+      s.resizes = seg.resizes.load();
+      s.migrate_chunks = seg.migrate_chunks.load();
+      s.migrated_entries = seg.migrated_entries.load();
     }
     return s;
   }
 
-  /// Whole-table invariant scan (tests): every occupied slot must satisfy
-  /// the Robin Hood ordering -- an entry displaced `d > 0` slots sits
-  /// behind a neighbour displaced at least `d - 1` -- and per-segment used
-  /// counts must match the occupied-slot census. Takes each segment's
-  /// writer lock, so concurrent mutators are excluded segment by segment.
+  /// Whole-table invariant scan (tests): seqlock parity even at rest,
+  /// Robin Hood displacement ordering in *both* live tables of every
+  /// segment (an entry displaced `d > 0` slots sits behind a neighbour
+  /// displaced at least `d - 1`), no key present in both tables, and the
+  /// per-table + per-segment used counters matching the occupied-slot
+  /// census. Takes each segment's writer lock, so concurrent mutators are
+  /// excluded segment by segment.
   bool validateInvariants() const {
     if constexpr (Domain::kDistributed) {
       auto map = *this;
@@ -470,15 +620,20 @@ class RobinHoodMap {
   std::uint32_t ownerOf(std::uint64_t key) const noexcept {
     return static_cast<std::uint32_t>(globalSlotOf(key) / seg_slots_);
   }
-  std::uint64_t homeOf(std::uint64_t key) const noexcept {
-    return globalSlotOf(key) % seg_slots_;
+
+  /// Home slot of `key` inside table `t`. For the seed table (nslots ==
+  /// seg_slots_) this equals the old global-partition home because
+  /// seg_slots_ divides capacity_; doubled tables just rehash over the
+  /// wider ring.
+  static std::uint64_t homeIn(const Table& t, std::uint64_t key) noexcept {
+    return rhHash(key) % t.nslots;
   }
 
-  /// Displacement of `key` if it sat at `pos` (probe distance from home).
-  static std::uint64_t dispOf(const RobinHoodMap& map, std::uint64_t key,
-                              std::uint64_t pos, std::uint64_t nslots) {
-    const std::uint64_t home = map.homeOf(key);
-    return (pos + nslots - home) % nslots;
+  /// Displacement of `key` if it sat at `pos` of `t` (distance from home).
+  static std::uint64_t dispIn(const Table& t, std::uint64_t key,
+                              std::uint64_t pos) noexcept {
+    const std::uint64_t home = homeIn(t, key);
+    return (pos + t.nslots - home) % t.nslots;
   }
 
   /// Charge `probes` slot accesses to the simulated clock (processor
@@ -488,6 +643,38 @@ class RobinHoodMap {
     if (probes != 0 && Runtime::active()) {
       sim::charge(probes * Runtime::get().config().latency.cpu_atomic_ns);
     }
+  }
+
+  // --- guard plumbing ------------------------------------------------------
+
+  /// Run `fn(guard)` under a pinned Domain guard. Progress threads reuse
+  /// their thread-cached guard (pin/unpin per op instead of a token
+  /// registration); task threads pin a fresh guard. Do not nest on a
+  /// progress thread: the inner unpin would strip the outer protection.
+  template <typename Fn>
+  auto withGuard(Fn&& fn) const {
+    if constexpr (Domain::kDistributed) {
+      if (taskContext().progress_thread) {
+        auto& guard = domain_.get().threadGuard();
+        PinScope<typename Domain::Guard> scope(guard);
+        return fn(guard);
+      }
+    }
+    auto guard = domain_.get().pin();
+    return fn(guard);
+  }
+
+  /// Opportunistic reclamation after a completed migration retired the old
+  /// table -- never from a progress thread (a reclaim election may wait on
+  /// *other* locales' progress threads; a blocked progress thread is a
+  /// comm stall).
+  template <typename GuardT>
+  static void maybeReclaim(GuardT& guard) {
+    bool on_progress_thread = false;
+    if constexpr (Domain::kDistributed) {
+      on_progress_thread = taskContext().progress_thread;
+    }
+    if (!on_progress_thread) guard.tryReclaim();
   }
 
   // --- segment-local core (executes on the owning locale) ------------------
@@ -503,11 +690,50 @@ class RobinHoodMap {
     Segment& seg_;
   };
 
+  /// Non-blocking lock attempt (the migration pump runs on the progress
+  /// thread and must never spin on a task-held writer lock: that would
+  /// stall the AM service loop).
+  struct SegTryLock {
+    explicit SegTryLock(Segment& seg) : seg_(seg) {
+      held_ = seg.lock.exchange(1, std::memory_order_acquire) == 0;
+    }
+    ~SegTryLock() {
+      if (held_) seg_.lock.store(0, std::memory_order_release);
+    }
+    bool held_ = false;
+    Segment& seg_;
+  };
+
+  /// Probe one table for `key` (reader path: no lock; the caller holds the
+  /// seqlock sample and a guard). Returns true on a hit.
+  static bool probeTable(const Table& t, std::uint64_t key,
+                         std::uint64_t& probes,
+                         std::optional<std::uint64_t>& out) {
+    const std::uint64_t S = t.nslots;
+    std::uint64_t pos = homeIn(t, key);
+    for (std::uint64_t d = 0; d < S; ++d) {
+      const U128 cur = dloadLocal(t.slots[pos]);
+      ++probes;
+      if (cur.lo == key) {
+        out = cur.hi;
+        return true;
+      }
+      if (cur.lo == kEmptyKey || dispIn(t, cur.lo, pos) < d) {
+        return false;  // Robin Hood early termination: definitive miss
+      }
+      pos = pos + 1 == S ? 0 : pos + 1;
+    }
+    return false;  // wrapped a full table: miss is definitive
+  }
+
   /// seqlock-validated wait-free probe; never takes the writer lock.
+  /// Mid-migration a key lives in exactly one table, so the probe checks
+  /// the old table then the shadow; both pointers are read through the
+  /// guard (the old table may be retired by the time the value is used).
+  template <typename GuardT>
   std::optional<std::uint64_t> segFind(const Segment& seg, std::uint64_t key,
-                                       std::uint64_t home) const {
+                                       GuardT& guard) const {
     PGASNB_CHECK_MSG(key != kEmptyKey, "RobinHoodMap: reserved key");
-    const std::uint64_t S = seg.nslots;
     std::uint64_t probes = 0;
     std::optional<std::uint64_t> out;
     Backoff backoff;
@@ -517,28 +743,13 @@ class RobinHoodMap {
         backoff.pause();
         continue;
       }
+      const Table* told = guard.protect(
+          [&seg] { return seg.cur.load(std::memory_order_acquire); });
+      const Table* tnew = guard.protect(
+          [&seg] { return seg.shadow.load(std::memory_order_acquire); });
       out.reset();
-      bool decided = false;
-      std::uint64_t pos = home;
-      for (std::uint64_t d = 0; d < S; ++d) {
-        const U128 cur = dloadLocal(seg.slots[pos]);
-        ++probes;
-        if (cur.lo == key) {
-          out = cur.hi;
-          decided = true;
-          break;
-        }
-        if (cur.lo == kEmptyKey ||
-            dispOf(*this, cur.lo, pos, S) < d) {
-          decided = true;  // Robin Hood early termination: definitive miss
-          break;
-        }
-        pos = pos + 1 == S ? 0 : pos + 1;
-      }
-      if (!decided) {
-        // Wrapped the whole segment without an empty slot: full table,
-        // miss is definitive.
-        decided = true;
+      if (!probeTable(*told, key, probes, out) && tnew != nullptr) {
+        probeTable(*tnew, key, probes, out);
       }
       if (seg.version.load(std::memory_order_acquire) == v1) break;
       backoff.pause();  // slots moved underneath the probe; retry
@@ -547,159 +758,433 @@ class RobinHoodMap {
     return out;
   }
 
-  /// Insert or upsert under the segment lock. Single-slot placements and
-  /// in-place value updates are plain atomic stores (readers cannot be
-  /// misled); displacement chains bump the seqlock version around the run
-  /// of moves.
-  PutOutcome segPut(Segment& seg, std::uint64_t key, std::uint64_t vbits,
-                    std::uint64_t home, bool assign) const {
+  /// Locate `key` in `t` (writer-lock held: no seqlock handling needed).
+  std::optional<std::uint64_t> tableLocate(const Table& t, std::uint64_t key,
+                                           std::uint64_t& probes) const {
+    const std::uint64_t S = t.nslots;
+    std::uint64_t pos = homeIn(t, key);
+    for (std::uint64_t d = 0; d < S; ++d) {
+      const U128 cur = dloadLocal(t.slots[pos]);
+      ++probes;
+      if (cur.lo == key) return pos;
+      if (cur.lo == kEmptyKey || dispIn(t, cur.lo, pos) < d) {
+        return std::nullopt;
+      }
+      pos = pos + 1 == S ? 0 : pos + 1;
+    }
+    return std::nullopt;
+  }
+
+  /// Insert or upsert into one table (writer-lock held). Single-slot
+  /// placements and in-place updates are plain atomic stores (readers
+  /// cannot be misled); displacement chains bump the seqlock version
+  /// around the run of moves unless the caller already holds it odd
+  /// (`bump_version = false` inside migration chunks).
+  PutOutcome tablePlace(Segment& seg, Table& t, std::uint64_t key,
+                        std::uint64_t vbits, bool assign, bool bump_version,
+                        std::uint64_t& probes) const {
+    const std::uint64_t S = t.nslots;
+    std::uint64_t pos = homeIn(t, key);
+    std::uint64_t d = 0;
+    for (;;) {
+      if (d >= S) return PutOutcome::full;  // wrapped: full and key absent
+      const U128 cur = dloadLocal(t.slots[pos]);
+      ++probes;
+      if (cur.lo == key) {
+        if (!assign) return PutOutcome::present;
+        dstoreLocal(t.slots[pos], U128{key, vbits});
+        return PutOutcome::updated;
+      }
+      if (cur.lo == kEmptyKey) {
+        // Free slot at our probe position: single-store placement.
+        dstoreLocal(t.slots[pos], U128{key, vbits});
+        t.used.fetch_add(1, std::memory_order_relaxed);
+        noteDisplacement(seg, d);
+        return PutOutcome::inserted;
+      }
+      const std::uint64_t dc = dispIn(t, cur.lo, pos);
+      if (dc < d) {
+        // The resident is richer: the key is provably absent. Take the
+        // slot and re-place the displaced run (Robin Hood swap chain).
+        if (t.used.load(std::memory_order_relaxed) >= S) {
+          return PutOutcome::full;
+        }
+        if (bump_version) {
+          seg.version.fetch_add(1, std::memory_order_acq_rel);  // odd
+        }
+        U128 carry = cur;
+        std::uint64_t carry_d = dc;
+        dstoreLocal(t.slots[pos], U128{key, vbits});
+        noteDisplacement(seg, d);
+        pos = pos + 1 == S ? 0 : pos + 1;
+        ++carry_d;
+        for (;;) {
+          const U128 victim = dloadLocal(t.slots[pos]);
+          ++probes;
+          if (victim.lo == kEmptyKey) {
+            dstoreLocal(t.slots[pos], carry);
+            noteDisplacement(seg, carry_d);
+            break;
+          }
+          const std::uint64_t vd = dispIn(t, victim.lo, pos);
+          if (vd < carry_d) {
+            dstoreLocal(t.slots[pos], carry);
+            noteDisplacement(seg, carry_d);
+            carry = victim;
+            carry_d = vd;
+          }
+          pos = pos + 1 == S ? 0 : pos + 1;
+          ++carry_d;
+        }
+        if (bump_version) {
+          seg.version.fetch_add(1, std::memory_order_acq_rel);  // even
+        }
+        t.used.fetch_add(1, std::memory_order_relaxed);
+        return PutOutcome::inserted;
+      }
+      pos = pos + 1 == S ? 0 : pos + 1;
+      ++d;
+    }
+  }
+
+  /// Erase from one table (writer-lock held): locate, then backward-shift
+  /// the trailing run one slot left under an odd seqlock window.
+  std::optional<std::uint64_t> tableEraseLocked(Segment& seg, Table& t,
+                                                std::uint64_t key,
+                                                std::uint64_t& probes) const {
+    const auto found = tableLocate(t, key, probes);
+    if (!found) return std::nullopt;
+    const std::uint64_t S = t.nslots;
+    std::uint64_t pos = *found;
+    const std::uint64_t vbits = dloadLocal(t.slots[pos]).hi;
+    seg.version.fetch_add(1, std::memory_order_acq_rel);  // odd
+    for (;;) {
+      const std::uint64_t nxt = pos + 1 == S ? 0 : pos + 1;
+      const U128 succ = dloadLocal(t.slots[nxt]);
+      ++probes;
+      if (succ.lo == kEmptyKey || dispIn(t, succ.lo, nxt) == 0) {
+        break;  // run ends: home-positioned entries never shift back
+      }
+      dstoreLocal(t.slots[pos], succ);
+      pos = nxt;
+    }
+    dstoreLocal(t.slots[pos], U128{kEmptyKey, 0});
+    seg.version.fetch_add(1, std::memory_order_acq_rel);  // even
+    t.used.fetch_sub(1, std::memory_order_relaxed);
+    return vbits;
+  }
+
+  // --- owner-serialized ops (take the lock, piggyback migration) -----------
+
+  PutOutcome ownerPut(Segment& seg, std::uint64_t key, std::uint64_t vbits,
+                      bool assign) const {
+    return withGuard([&](auto& guard) {
+      return segPut(guard, seg, key, vbits, assign);
+    });
+  }
+  std::optional<std::uint64_t> ownerFind(Segment& seg,
+                                         std::uint64_t key) const {
+    return withGuard(
+        [&](auto& guard) { return segFind(seg, key, guard); });
+  }
+  std::optional<std::uint64_t> ownerErase(Segment& seg,
+                                          std::uint64_t key) const {
+    return withGuard(
+        [&](auto& guard) { return segErase(guard, seg, key); });
+  }
+
+  template <typename GuardT>
+  PutOutcome segPut(GuardT& guard, Segment& seg, std::uint64_t key,
+                    std::uint64_t vbits, bool assign) const {
     PGASNB_CHECK_MSG(key != kEmptyKey, "RobinHoodMap: reserved key");
-    const std::uint64_t S = seg.nslots;
     std::uint64_t probes = 0;
     PutOutcome outcome = PutOutcome::full;
+    bool completed = false;
     {
       SegLock hold(seg);
-      std::uint64_t pos = home;
-      std::uint64_t d = 0;
-      for (;;) {
-        if (d >= S) break;  // wrapped: no empty slot and key absent => full
-        const U128 cur = dloadLocal(seg.slots[pos]);
-        ++probes;
-        if (cur.lo == key) {
+      Table& told = *seg.cur.load(std::memory_order_relaxed);
+      Table* tnew = seg.shadow.load(std::memory_order_relaxed);
+      if (tnew == nullptr) {
+        outcome = tablePlace(seg, told, key, vbits, assign,
+                             /*bump_version=*/true, probes);
+        if (outcome == PutOutcome::inserted) {
+          seg.used.fetch_add(1, std::memory_order_relaxed);
+          maybeStartResize(seg, told, probes);
+        } else if (outcome == PutOutcome::full && resize_load_ > 0.0) {
+          // The table filled before crossing the load threshold (tiny
+          // segments / threshold ~1): grow now, land the key in the shadow.
+          startResize(seg, told, probes);
+          Table& fresh = *seg.shadow.load(std::memory_order_relaxed);
+          outcome = tablePlace(seg, fresh, key, vbits, assign,
+                               /*bump_version=*/true, probes);
+          if (outcome == PutOutcome::inserted) {
+            seg.used.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      } else {
+        // Mid-migration: the key lives in at most one of the two tables.
+        // Updates hit it where it sits; fresh inserts go to the shadow.
+        if (const auto pos = tableLocate(told, key, probes)) {
           if (assign) {
-            dstoreLocal(seg.slots[pos], U128{key, vbits});
+            dstoreLocal(told.slots[*pos], U128{key, vbits});
             outcome = PutOutcome::updated;
           } else {
             outcome = PutOutcome::present;
           }
-          break;
-        }
-        if (cur.lo == kEmptyKey) {
-          // Free slot at our probe position: single-store placement.
-          dstoreLocal(seg.slots[pos], U128{key, vbits});
-          noteInsert(seg, d);
-          outcome = PutOutcome::inserted;
-          break;
-        }
-        const std::uint64_t dc = dispOf(*this, cur.lo, pos, S);
-        if (dc < d) {
-          // The resident is richer: the key is provably absent. Take the
-          // slot and re-place the displaced run (Robin Hood swap chain).
-          if (seg.used.load(std::memory_order_relaxed) >= S) break;  // full
-          seg.version.fetch_add(1, std::memory_order_acq_rel);  // odd
-          U128 carry = cur;
-          std::uint64_t carry_d = dc;
-          dstoreLocal(seg.slots[pos], U128{key, vbits});
-          noteInsert(seg, d);
-          pos = pos + 1 == S ? 0 : pos + 1;
-          ++carry_d;
-          for (;;) {
-            const U128 victim = dloadLocal(seg.slots[pos]);
-            ++probes;
-            if (victim.lo == kEmptyKey) {
-              dstoreLocal(seg.slots[pos], carry);
-              noteDisplacement(seg, carry_d);
-              break;
-            }
-            const std::uint64_t vd = dispOf(*this, victim.lo, pos, S);
-            if (vd < carry_d) {
-              dstoreLocal(seg.slots[pos], carry);
-              noteDisplacement(seg, carry_d);
-              carry = victim;
-              carry_d = vd;
-            }
-            pos = pos + 1 == S ? 0 : pos + 1;
-            ++carry_d;
+        } else {
+          outcome = tablePlace(seg, *tnew, key, vbits, assign,
+                               /*bump_version=*/true, probes);
+          if (outcome == PutOutcome::inserted) {
+            seg.used.fetch_add(1, std::memory_order_relaxed);
           }
-          seg.version.fetch_add(1, std::memory_order_acq_rel);  // even
-          outcome = PutOutcome::inserted;
-          break;
         }
-        pos = pos + 1 == S ? 0 : pos + 1;
-        ++d;
       }
       if (outcome == PutOutcome::full) {
         seg.full_rejects.fetch_add(1, std::memory_order_relaxed);
       }
+      if (seg.shadow.load(std::memory_order_relaxed) != nullptr) {
+        completed = migrateChunk(guard, seg, probes);
+      }
     }
     chargeProbes(probes);
+    if (completed) maybeReclaim(guard);
     return outcome;
   }
 
-  /// Erase under the segment lock: probe, then backward-shift the trailing
-  /// run one slot left (version-bumped -- entries move).
-  std::optional<std::uint64_t> segErase(Segment& seg, std::uint64_t key,
-                                        std::uint64_t home) const {
+  template <typename GuardT>
+  std::optional<std::uint64_t> segErase(GuardT& guard, Segment& seg,
+                                        std::uint64_t key) const {
     PGASNB_CHECK_MSG(key != kEmptyKey, "RobinHoodMap: reserved key");
-    const std::uint64_t S = seg.nslots;
     std::uint64_t probes = 0;
     std::optional<std::uint64_t> out;
+    bool completed = false;
     {
       SegLock hold(seg);
-      std::uint64_t pos = home;
-      bool found = false;
-      for (std::uint64_t d = 0; d < S; ++d) {
-        const U128 cur = dloadLocal(seg.slots[pos]);
-        ++probes;
-        if (cur.lo == key) {
-          out = cur.hi;
-          found = true;
-          break;
+      Table& told = *seg.cur.load(std::memory_order_relaxed);
+      out = tableEraseLocked(seg, told, key, probes);
+      if (!out) {
+        if (Table* tnew = seg.shadow.load(std::memory_order_relaxed)) {
+          out = tableEraseLocked(seg, *tnew, key, probes);
         }
-        if (cur.lo == kEmptyKey || dispOf(*this, cur.lo, pos, S) < d) break;
-        pos = pos + 1 == S ? 0 : pos + 1;
       }
-      if (found) {
-        seg.version.fetch_add(1, std::memory_order_acq_rel);  // odd
-        for (;;) {
-          const std::uint64_t nxt = pos + 1 == S ? 0 : pos + 1;
-          const U128 succ = dloadLocal(seg.slots[nxt]);
-          ++probes;
-          if (succ.lo == kEmptyKey ||
-              dispOf(*this, succ.lo, nxt, S) == 0) {
-            break;  // run ends: home-positioned entries never shift back
-          }
-          dstoreLocal(seg.slots[pos], succ);
-          pos = nxt;
-        }
-        dstoreLocal(seg.slots[pos], U128{kEmptyKey, 0});
-        seg.version.fetch_add(1, std::memory_order_acq_rel);  // even
-        seg.used.fetch_sub(1, std::memory_order_relaxed);
+      if (out) seg.used.fetch_sub(1, std::memory_order_relaxed);
+      if (seg.shadow.load(std::memory_order_relaxed) != nullptr) {
+        completed = migrateChunk(guard, seg, probes);
       }
     }
     chargeProbes(probes);
+    if (completed) maybeReclaim(guard);
     return out;
   }
 
-  void noteInsert(Segment& seg, std::uint64_t disp) const {
-    seg.used.fetch_add(1, std::memory_order_relaxed);
-    noteDisplacement(seg, disp);
-  }
-  static void noteDisplacement(Segment& seg, std::uint64_t disp) {
-    std::uint64_t seen = seg.max_disp.load(std::memory_order_relaxed);
-    while (seen < disp && !seg.max_disp.compare_exchange_weak(
-                              seen, disp, std::memory_order_relaxed)) {
+  // --- incremental resize --------------------------------------------------
+
+  void maybeStartResize(Segment& seg, Table& t, std::uint64_t& probes) const {
+    if (resize_load_ <= 0.0) return;
+    const auto thresh = static_cast<std::uint64_t>(
+        resize_load_ * static_cast<double>(t.nslots));
+    if (t.used.load(std::memory_order_relaxed) >=
+        std::max<std::uint64_t>(1, thresh)) {
+      startResize(seg, t, probes);
     }
+  }
+
+  /// Allocate the doubled shadow and publish it under a seqlock bump (so a
+  /// reader that sampled shadow == nullptr revalidates: without the bump a
+  /// racing probe could miss an insert that landed in the just-published
+  /// shadow). Writer-lock held. The migration cursor starts at the first
+  /// empty slot -- chunks may only pause at run boundaries -- falling back
+  /// to 0 for a completely full table (the first chunk then drains it
+  /// whole).
+  void startResize(Segment& seg, Table& t_old, std::uint64_t& probes) const {
+    PGASNB_DCHECK(seg.shadow.load(std::memory_order_relaxed) == nullptr);
+    Table* fresh = Domain::template make<Table>(t_old.nslots * 2);
+    std::uint64_t start = 0;
+    for (std::uint64_t i = 0; i < t_old.nslots; ++i) {
+      ++probes;
+      if (dloadLocal(t_old.slots[i]).lo == kEmptyKey) {
+        start = i;
+        break;
+      }
+    }
+    seg.migrate_pos = start;
+    seg.migrate_left = t_old.nslots;
+    seg.version.fetch_add(1, std::memory_order_acq_rel);  // odd
+    seg.shadow.store(fresh, std::memory_order_release);
+    seg.version.fetch_add(1, std::memory_order_acq_rel);  // even
+    seg.resizes.fetch_add(1, std::memory_order_relaxed);
+    maybeSchedulePump(seg);
+  }
+
+  /// Drain one bounded chunk of the old table into the shadow (writer-lock
+  /// held, shadow non-null). The whole chunk runs under one odd seqlock
+  /// window, and the cursor only stops on empty slots: the old table's
+  /// occupied region stays a union of intact probe runs, so concurrent
+  /// readers' early termination stays sound. Returns true when migration
+  /// completed (old table promoted out and retired through the domain).
+  template <typename GuardT>
+  bool migrateChunk(GuardT& guard, Segment& seg,
+                    std::uint64_t& probes) const {
+    Table& src = *seg.cur.load(std::memory_order_relaxed);
+    Table& dst = *seg.shadow.load(std::memory_order_relaxed);
+    const std::uint64_t S = src.nslots;
+    std::uint64_t moved = 0;
+    seg.version.fetch_add(1, std::memory_order_acq_rel);  // odd
+    while (seg.migrate_left > 0) {
+      const std::uint64_t pos = seg.migrate_pos;
+      const U128 entry = dloadLocal(src.slots[pos]);
+      ++probes;
+      if (entry.lo == kEmptyKey && moved >= migrate_chunk_) {
+        break;  // run boundary reached with the chunk budget spent
+      }
+      seg.migrate_pos = pos + 1 == S ? 0 : pos + 1;
+      --seg.migrate_left;
+      if (entry.lo == kEmptyKey) continue;
+      const PutOutcome placed =
+          tablePlace(seg, dst, entry.lo, entry.hi, /*assign=*/false,
+                     /*bump_version=*/false, probes);
+      PGASNB_DCHECK(placed == PutOutcome::inserted);
+      (void)placed;
+      dstoreLocal(src.slots[pos], U128{kEmptyKey, 0});
+      src.used.fetch_sub(1, std::memory_order_relaxed);
+      ++moved;
+    }
+    bool completed = false;
+    if (seg.migrate_left == 0) {
+      Table* old = seg.cur.load(std::memory_order_relaxed);
+      PGASNB_DCHECK(old->used.load(std::memory_order_relaxed) == 0);
+      seg.cur.store(seg.shadow.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+      seg.shadow.store(nullptr, std::memory_order_release);
+      Domain::template retireNode<Table>(guard, old);
+      completed = true;
+    }
+    seg.version.fetch_add(1, std::memory_order_acq_rel);  // even
+    seg.migrate_chunks.fetch_add(1, std::memory_order_relaxed);
+    seg.migrated_entries.fetch_add(moved, std::memory_order_relaxed);
+    return completed;
+  }
+
+  /// Arm the self-targeted migration pump: one AM on our own progress
+  /// thread that drains a chunk per service and re-enqueues itself until
+  /// the segment finishes migrating. amProgressHandle always goes through
+  /// the AM queue (even to self), so the pump never recurses into the
+  /// mutation that armed it. LocalDomain has no progress thread: migration
+  /// then advances only by piggybacking on mutations.
+  void maybeSchedulePump(Segment& seg) const {
+    if constexpr (Domain::kDistributed) {
+      if (!Runtime::active()) return;
+      bool expected = false;
+      if (!seg.pump_active.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        return;  // a pump is already in flight
+      }
+      auto map = *this;
+      comm::amProgressHandle(Runtime::here(), [map] { map.pumpStep(); });
+    } else {
+      (void)seg;
+    }
+  }
+
+  /// One pump service pass. Invariant: a pump AM in flight (queued or
+  /// executing) implies pump_active == true; the flag is cleared only
+  /// here, *inside* the writer lock, at the no-more-work exit -- after the
+  /// clear this invocation never touches the segment again. That gives
+  /// two guarantees at once: a startResize (also under the lock) either
+  /// runs before the clear (the pump sees its shadow and keeps going) or
+  /// after it (its maybeSchedulePump CAS succeeds and arms a fresh pump),
+  /// so no migration is left pumpless; and destroy() can free the segment
+  /// once it observes pump_active == false *through the lock* (see
+  /// destroy()), because no pump AM can still be holding the pointer.
+  void pumpStep() const {
+    Segment* segp = segments_.instanceOn(Runtime::here());
+    if (segp == nullptr) return;  // raced with destroy()
+    Segment& seg = *segp;
+    bool more = true;
+    withGuard([&](auto& guard) {
+      SegTryLock hold(seg);
+      if (!hold.held_) return;  // writer active; retry next service pass
+      if (seg.shadow.load(std::memory_order_relaxed) == nullptr) {
+        // A piggybacking mutation finished the migration.
+        seg.pump_active.store(false, std::memory_order_release);
+        more = false;
+        return;
+      }
+      std::uint64_t probes = 0;
+      more = !migrateChunk(guard, seg, probes);
+      chargeProbes(probes);
+      if (!more) seg.pump_active.store(false, std::memory_order_release);
+    });
+    if (more) {
+      auto map = *this;
+      comm::amProgressHandle(Runtime::here(), [map] { map.pumpStep(); });
+    }
+  }
+
+  // --- introspection internals ---------------------------------------------
+
+  /// (live slot capacity, mid-migration?) of one segment, read under a
+  /// guard with seqlock validation.
+  std::pair<std::uint64_t, bool> liveExtent(Segment& seg) const {
+    return withGuard([&](auto& guard) {
+      Backoff backoff;
+      for (;;) {
+        const std::uint64_t v1 = seg.version.load(std::memory_order_acquire);
+        if ((v1 & 1) != 0) {
+          backoff.pause();
+          continue;
+        }
+        const Table* tnew = guard.protect(
+            [&seg] { return seg.shadow.load(std::memory_order_acquire); });
+        const Table* told = guard.protect(
+            [&seg] { return seg.cur.load(std::memory_order_acquire); });
+        const std::uint64_t n = tnew != nullptr ? tnew->nslots : told->nslots;
+        const bool migrating = tnew != nullptr;
+        if (seg.version.load(std::memory_order_acquire) == v1) {
+          return std::make_pair(n, migrating);
+        }
+        backoff.pause();
+      }
+    });
   }
 
   bool segValidate(Segment& seg) const {
     SegLock hold(seg);
-    const std::uint64_t S = seg.nslots;
+    if ((seg.version.load(std::memory_order_acquire) & 1) != 0) {
+      return false;  // seqlock must be even whenever no writer holds it
+    }
+    const Table* tables[2] = {seg.cur.load(std::memory_order_relaxed),
+                              seg.shadow.load(std::memory_order_relaxed)};
+    std::vector<std::uint64_t> keys;
     std::uint64_t occupied = 0;
-    for (std::uint64_t pos = 0; pos < S; ++pos) {
-      const U128 cur = dloadLocal(seg.slots[pos]);
-      if (cur.lo == kEmptyKey) continue;
-      ++occupied;
-      if (ownerOf(cur.lo) != currentSegmentOwner()) return false;
-      const std::uint64_t d = dispOf(*this, cur.lo, pos, S);
-      if (d == 0) continue;
-      const std::uint64_t prev_pos = pos == 0 ? S - 1 : pos - 1;
-      const U128 prev = dloadLocal(seg.slots[prev_pos]);
-      // Robin Hood ordering: a displaced entry sits behind a neighbour
-      // displaced at least d-1 (an empty or richer predecessor would mean
-      // this entry failed to take a slot it was entitled to).
-      if (prev.lo == kEmptyKey) return false;
-      if (dispOf(*this, prev.lo, prev_pos, S) + 1 < d) return false;
+    for (const Table* t : tables) {
+      if (t == nullptr) continue;
+      const std::uint64_t S = t->nslots;
+      std::uint64_t census = 0;
+      for (std::uint64_t pos = 0; pos < S; ++pos) {
+        const U128 cur = dloadLocal(t->slots[pos]);
+        if (cur.lo == kEmptyKey) continue;
+        ++census;
+        keys.push_back(cur.lo);
+        if (ownerOf(cur.lo) != currentSegmentOwner()) return false;
+        const std::uint64_t d = dispIn(*t, cur.lo, pos);
+        if (d == 0) continue;
+        const std::uint64_t prev_pos = pos == 0 ? S - 1 : pos - 1;
+        const U128 prev = dloadLocal(t->slots[prev_pos]);
+        // Robin Hood ordering: a displaced entry sits behind a neighbour
+        // displaced at least d-1 (an empty or richer predecessor would
+        // mean this entry failed to take a slot it was entitled to). This
+        // holds mid-migration too: chunks empty whole runs, never a run
+        // prefix.
+        if (prev.lo == kEmptyKey) return false;
+        if (dispIn(*t, prev.lo, prev_pos) + 1 < d) return false;
+      }
+      if (census != t->used.load(std::memory_order_relaxed)) return false;
+      occupied += census;
+    }
+    std::sort(keys.begin(), keys.end());
+    if (std::adjacent_find(keys.begin(), keys.end()) != keys.end()) {
+      return false;  // a key must live in exactly one table
     }
     return occupied == seg.used.load(std::memory_order_relaxed);
   }
@@ -714,38 +1199,34 @@ class RobinHoodMap {
 
   // --- op routing ----------------------------------------------------------
 
-  /// Run `fn(segment, home_slot)` on the key's owning locale (in place for
-  /// a LocalDomain), blocking like the other structures' sync ops.
+  /// Run `fn(segment)` on the key's owning locale (in place for a
+  /// LocalDomain), blocking like the other structures' sync ops.
   template <typename Fn>
   void onOwner(std::uint64_t key, const Fn& fn) const {
-    const std::uint64_t home = homeOf(key);
     if constexpr (Domain::kDistributed) {
       const std::uint32_t owner = ownerOf(key);
       auto segments = segments_;
-      comm::amSync(owner,
-                   [&fn, segments, home] { fn(segments.local(), home); });
+      comm::amSync(owner, [&fn, segments] { fn(segments.local()); });
     } else {
-      fn(*local_segment_, home);
+      fn(*local_segment_);
     }
   }
 
-  /// Ship `op(map, segment, home)` -> R to the owner as one async AM;
-  /// local owners run inline and return a ready handle.
+  /// Ship `op(map, segment)` -> R to the owner as one async AM; local
+  /// owners run inline and return a ready handle.
   template <typename R, typename Op>
   comm::Handle<R> shipValueOp(std::uint64_t key, Op op) const {
-    const std::uint64_t home = homeOf(key);
     if constexpr (Domain::kDistributed) {
       const std::uint32_t owner = ownerOf(key);
       if (owner != Runtime::here()) {
         auto map = *this;
-        return comm::amAsyncValue<R>(owner, [map, home, op = std::move(op)] {
-          return op(map, map.segments_.local(), home);
+        return comm::amAsyncValue<R>(owner, [map, op = std::move(op)] {
+          return op(map, map.segments_.local());
         });
       }
-      return comm::readyValueHandle(
-          op(*this, segments_.local(), home));
+      return comm::readyValueHandle(op(*this, segments_.local()));
     } else {
-      return comm::readyValueHandle(op(*this, *local_segment_, home));
+      return comm::readyValueHandle(op(*this, *local_segment_));
     }
   }
 
@@ -754,7 +1235,6 @@ class RobinHoodMap {
   /// with the batch. Local owners run inline.
   template <typename R, typename Op>
   comm::Handle<R> shipAggregated(std::uint64_t key, Op op) const {
-    const std::uint64_t home = homeOf(key);
     if constexpr (Domain::kDistributed) {
       const std::uint32_t owner = ownerOf(key);
       if (owner != Runtime::here()) {
@@ -763,25 +1243,33 @@ class RobinHoodMap {
         auto map = *this;
         comm::taskAggregator().enqueueWithCore(
             owner,
-            [map, home, raw, op = std::move(op)] {
-              raw->value = op(map, map.segments_.local(), home);
+            [map, raw, op = std::move(op)] {
+              raw->value = op(map, map.segments_.local());
             },
             state);
         return comm::Handle<R>(std::move(state));
       }
-      return comm::readyValueHandle(
-          op(*this, segments_.local(), home));
+      return comm::readyValueHandle(op(*this, segments_.local()));
     } else {
-      return comm::readyValueHandle(op(*this, *local_segment_, home));
+      return comm::readyValueHandle(op(*this, *local_segment_));
+    }
+  }
+
+  static void noteDisplacement(Segment& seg, std::uint64_t disp) {
+    std::uint64_t seen = seg.max_disp.load(std::memory_order_relaxed);
+    while (seen < disp && !seg.max_disp.compare_exchange_weak(
+                              seen, disp, std::memory_order_relaxed)) {
     }
   }
 
   Privatized<Segment> segments_;      // DistDomain storage
   Segment* local_segment_ = nullptr;  // LocalDomain storage
-  DomainRef<Domain> domain_;          // lifecycle symmetry (no reclamation)
+  DomainRef<Domain> domain_;          // guards readers; reclaims old tables
   std::uint64_t capacity_ = 0;
   std::uint64_t seg_slots_ = 0;
   std::uint32_t num_locales_ = 1;
+  double resize_load_ = 0.85;
+  std::uint32_t migrate_chunk_ = 64;
 };
 
 }  // namespace pgasnb

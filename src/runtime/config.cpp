@@ -125,6 +125,13 @@ RuntimeConfig RuntimeConfig::fromEnv() {
     cfg.drain_deferred_cap =
         static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
   }
+  if (const char* v = envOrNull("PGASNB_RH_RESIZE_LOAD")) {
+    cfg.rh_resize_load = std::strtod(v, nullptr);
+  }
+  if (const char* v = envOrNull("PGASNB_RH_MIGRATE_CHUNK")) {
+    cfg.rh_migrate_chunk =
+        static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+  }
   return cfg;
 }
 
@@ -135,6 +142,8 @@ std::string RuntimeConfig::describe() const {
      << " retire=" << toString(remote_retire)
      << " reclaim=" << toString(reclaim_mode)
      << " drain_cap=" << drain_deferred_cap
+     << " rh_resize_load=" << rh_resize_load
+     << " rh_migrate_chunk=" << rh_migrate_chunk
      << " inject=" << (inject_delays ? "yes" : "no")
      << " delay_scale=" << latency.delay_scale;
   return os.str();

@@ -122,6 +122,16 @@ struct RuntimeConfig {
   /// batches. 0 = uncapped (no throttling).
   std::uint32_t drain_deferred_cap = 4096;
 
+  /// RobinHoodMap: per-segment load factor that starts an incremental
+  /// doubling (shadow table + chunked migration). <= 0 disables resize, so
+  /// a full segment rejects inserts (stats().full_rejects). create() with
+  /// explicit RobinHoodOptions overrides this.
+  double rh_resize_load = 0.85;
+
+  /// RobinHoodMap: entries migrated per bounded chunk (per mutation / pump
+  /// step; chunks round up to the enclosing probe run). 0 is treated as 1.
+  std::uint32_t rh_migrate_chunk = 64;
+
   LatencyModel latency{};
 
   /// When true, communication costs are also *physically* injected as
@@ -136,7 +146,8 @@ struct RuntimeConfig {
   /// PGASNB_INJECT_DELAYS, PGASNB_DELAY_SCALE, PGASNB_REMOTE_RETIRE,
   /// PGASNB_RECLAIM_MODE, PGASNB_INTERVAL_ERA_FREQ, PGASNB_RETIRE_BATCH,
   /// PGASNB_AGG_OPS_PER_BATCH, PGASNB_AGG_MAX_BATCH_AGE,
-  /// PGASNB_CQ_PARK_SLICE, PGASNB_DRAIN_DEFERRED_CAP on top of the
+  /// PGASNB_CQ_PARK_SLICE, PGASNB_DRAIN_DEFERRED_CAP,
+  /// PGASNB_RH_RESIZE_LOAD, PGASNB_RH_MIGRATE_CHUNK on top of the
   /// defaults.
   static RuntimeConfig fromEnv();
 

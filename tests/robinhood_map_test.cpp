@@ -11,8 +11,14 @@
 namespace pgasnb {
 namespace {
 
+using testing::assertRobinHoodInvariants;
 using testing::RuntimeParamTest;
 using testing::RuntimeTest;
+
+/// Pin the pre-resize behaviour: segments keep their create()-time size and
+/// a full one rejects (the tests below are about the fixed-capacity probing
+/// algebra, not growth -- robinhood_resize_test.cpp covers that).
+constexpr RobinHoodOptions kNoResize{.resize_load = 0.0, .migrate_chunk = 64};
 
 // --- LocalDomain: the probing algebra without a runtime ---------------------
 
@@ -53,12 +59,13 @@ TEST(RobinHoodLocalDomain, PutUpsertsInPlace) {
 TEST(RobinHoodLocalDomain, DisplacementOrderingHoldsAtHighLoadFactor) {
   LocalDomain domain;
   constexpr std::uint64_t kSlots = 256;
-  auto map = RobinHoodMap<std::uint64_t, LocalDomain>::create(kSlots, domain);
+  auto map = RobinHoodMap<std::uint64_t, LocalDomain>::create(kSlots, domain,
+                                                              kNoResize);
   // Fill to ~94%: long probe runs, many displacement chains.
   constexpr std::uint64_t kN = 240;
   for (std::uint64_t k = 0; k < kN; ++k) {
     ASSERT_TRUE(map.insert(k, k * 2)) << "k=" << k;
-    ASSERT_TRUE(map.validateInvariants()) << "after insert of k=" << k;
+    ASSERT_TRUE(assertRobinHoodInvariants(map)) << "after insert of k=" << k;
   }
   EXPECT_EQ(map.sizeApprox(), kN);
   const auto stats = map.stats();
@@ -80,7 +87,7 @@ TEST(RobinHoodLocalDomain, BackwardShiftEraseKeepsRemainderFindable) {
   // must still hold and every survivor must still be findable.
   for (std::uint64_t k = 0; k < kN; k += 2) {
     ASSERT_TRUE(map.erase(k).has_value()) << "k=" << k;
-    ASSERT_TRUE(map.validateInvariants()) << "after erase of k=" << k;
+    ASSERT_TRUE(assertRobinHoodInvariants(map)) << "after erase of k=" << k;
   }
   EXPECT_EQ(map.sizeApprox(), kN / 2);
   for (std::uint64_t k = 0; k < kN; ++k) {
@@ -93,14 +100,15 @@ TEST(RobinHoodLocalDomain, BackwardShiftEraseKeepsRemainderFindable) {
   for (std::uint64_t k = 0; k < kN; k += 2) {
     ASSERT_TRUE(map.insert(k, k + 1));
   }
-  EXPECT_TRUE(map.validateInvariants());
+  EXPECT_TRUE(assertRobinHoodInvariants(map));
   EXPECT_EQ(map.sizeApprox(), kN);
   map.destroy();
 }
 
 TEST(RobinHoodLocalDomain, FullSegmentRejectsFreshKeys) {
   LocalDomain domain;
-  auto map = RobinHoodMap<std::uint64_t, LocalDomain>::create(8, domain);
+  auto map =
+      RobinHoodMap<std::uint64_t, LocalDomain>::create(8, domain, kNoResize);
   const std::uint64_t slots = map.capacity();
   std::uint64_t inserted = 0;
   for (std::uint64_t k = 0; inserted < slots; ++k) {
@@ -112,7 +120,7 @@ TEST(RobinHoodLocalDomain, FullSegmentRejectsFreshKeys) {
   // In-place update of a present key must still work when full.
   EXPECT_FALSE(map.put(0, 42));
   EXPECT_EQ(*map.find(0), 42u);
-  EXPECT_TRUE(map.validateInvariants());
+  EXPECT_TRUE(assertRobinHoodInvariants(map));
   map.destroy();
 }
 
@@ -128,12 +136,12 @@ TEST_P(RobinHoodModeTest, InsertFindEraseAcrossLocales) {
     ASSERT_TRUE(map.insert(k, k * 2));
   }
   EXPECT_EQ(map.sizeApprox(), kN);
-  EXPECT_TRUE(map.validateInvariants());
+  EXPECT_TRUE(assertRobinHoodInvariants(map));
   for (std::uint64_t k = 0; k < kN; k += 2) {
     EXPECT_TRUE(map.erase(k).has_value());
   }
   EXPECT_EQ(map.sizeApprox(), kN / 2);
-  EXPECT_TRUE(map.validateInvariants());
+  EXPECT_TRUE(assertRobinHoodInvariants(map));
   for (std::uint64_t k = 0; k < kN; ++k) {
     EXPECT_EQ(map.find(k).has_value(), k % 2 == 1);
   }
@@ -199,7 +207,7 @@ TEST_P(RobinHoodModeTest, AggregatedWindowedOpsResolveTogether) {
   }
   for (auto& h : erases) EXPECT_TRUE(h.value().has_value());
   EXPECT_EQ(map.sizeApprox(), kN / 2);
-  EXPECT_TRUE(map.validateInvariants());
+  EXPECT_TRUE(assertRobinHoodInvariants(map));
   map.destroy();
   domain.destroy();
 }
@@ -250,7 +258,7 @@ TEST_F(RobinHoodTest, ExactlyOnceInsertUnderCrossLocaleContention) {
   });
   EXPECT_EQ(successes.load(), kKeys) << "each key must insert exactly once";
   EXPECT_EQ(map.sizeApprox(), kKeys);
-  EXPECT_TRUE(map.validateInvariants());
+  EXPECT_TRUE(assertRobinHoodInvariants(map));
   // The surviving value is one locale's coherent write.
   for (std::uint64_t k = 0; k < kKeys; ++k) {
     const auto v = map.find(k);
@@ -280,7 +288,7 @@ TEST_F(RobinHoodTest, ConcurrentMixedChurnStaysCoherent) {
     }
   });
   EXPECT_EQ(map.sizeApprox(), static_cast<std::uint64_t>(net.load()));
-  EXPECT_TRUE(map.validateInvariants());
+  EXPECT_TRUE(assertRobinHoodInvariants(map));
   long present = 0;
   for (std::uint64_t k = 0; k < kKeySpace; ++k) {
     if (auto v = map.find(k)) {
@@ -323,7 +331,7 @@ TEST_F(RobinHoodTest, ReadersRaceStructuralMutationsSafely) {
       }
     }
   });
-  EXPECT_TRUE(map.validateInvariants());
+  EXPECT_TRUE(assertRobinHoodInvariants(map));
   map.destroy();
   domain.destroy();
 }
@@ -364,7 +372,7 @@ TEST(RobinHoodStress, DISABLED_LocalesLoadFactorSweep) {
           for (auto& h : writes) (void)h.value();
         }
       });
-      EXPECT_TRUE(map.validateInvariants())
+      EXPECT_TRUE(assertRobinHoodInvariants(map))
           << "locales=" << locales << " lf=" << load_factor;
       // Erase-then-reinsert audit over the full prefill range.
       for (std::uint64_t k = 0; k < prefill; ++k) {

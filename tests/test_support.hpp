@@ -60,6 +60,45 @@ class RuntimeParamTest : public ::testing::TestWithParam<RuntimeParam> {
   std::unique_ptr<Runtime> runtime_;
 };
 
+/// Robin Hood invariant battery shared by robinhood_map_test and
+/// robinhood_resize_test: displacement monotonicity + seqlock parity at
+/// rest + no duplicate keys + table/segment census (all via the map's
+/// locked whole-table scan), plus stats()/sizeApprox agreement. Use as
+/// `EXPECT_TRUE(assertRobinHoodInvariants(map))` at any quiescent point --
+/// including mid-migration quiescence, where `slots` must already report
+/// the shadow capacity.
+template <typename Map>
+::testing::AssertionResult assertRobinHoodInvariants(const Map& map) {
+  if (!map.valid()) {
+    return ::testing::AssertionFailure() << "map handle is invalid";
+  }
+  if (!map.validateInvariants()) {
+    return ::testing::AssertionFailure()
+           << "RobinHood invariant scan failed (displacement ordering, "
+              "seqlock parity at rest, duplicate key across tables, or "
+              "used-counter census mismatch)";
+  }
+  const auto stats = map.stats();
+  const auto used = map.sizeApprox();
+  if (stats.used != used) {
+    return ::testing::AssertionFailure()
+           << "stats().used=" << stats.used << " disagrees with sizeApprox()="
+           << used << " at a quiescent point";
+  }
+  if (stats.slots < map.capacity()) {
+    return ::testing::AssertionFailure()
+           << "stats().slots=" << stats.slots
+           << " below the create()-time partition " << map.capacity()
+           << " (segments only ever grow)";
+  }
+  if (stats.used > stats.slots) {
+    return ::testing::AssertionFailure()
+           << "stats().used=" << stats.used << " exceeds live slots="
+           << stats.slots;
+  }
+  return ::testing::AssertionSuccess();
+}
+
 #define PGASNB_RUNTIME_PARAMS                                        \
   ::testing::Values(                                                 \
       pgasnb::testing::RuntimeParam{1, pgasnb::CommMode::none},      \
