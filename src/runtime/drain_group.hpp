@@ -30,6 +30,7 @@
 // DrainGroup, and the comm layer reaches it through the Runtime.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -64,6 +65,23 @@ struct CqShared {
   std::condition_variable cv;
   std::deque<ReadyCompletion> ready;
   std::size_t outstanding = 0;
+
+  // --- load/arrival telemetry published for the self-tuning control loop
+  // (ISSUE 10). Writers update under `lock`; readers (two-choice victim
+  // scoring in stealReady, park-slice scaling in cqParkSliceFor) are
+  // lock-free, so these mirror the locked state as relaxed atomics.
+  /// == ready.size(): the depth a stealer scores victims by.
+  std::atomic<std::uint32_t> ready_depth{0};
+  /// == outstanding: breaks two-choice ties (deeper expected future work).
+  std::atomic<std::uint32_t> outstanding_hint{0};
+  /// EWMA of the *wall-clock* gap between consecutive completion pushes
+  /// (ns; 0 = unseeded). Adaptive park slices scale to this.
+  std::atomic<std::uint64_t> ewma_gap_ns{0};
+  /// Wall-clock ns of the last completion push (guarded by `lock`).
+  std::uint64_t last_push_wall_ns = 0;
+  /// Last park slice computed for this queue (us); lets the slice policy
+  /// count *changes* (tuner_slice_adjusts) instead of every probe.
+  std::atomic<std::uint32_t> last_slice_us{0};
 };
 
 // Counter hooks (the process-wide comm counters live in comm.cpp).
@@ -72,6 +90,10 @@ void noteContinuationStolen() noexcept;
 /// Reports the deferred-queue depth observed right after a defer();
 /// maintains the deferred_peak high-water counter.
 void noteDeferredDepth(std::size_t depth) noexcept;
+/// Two-choice steal telemetry: a depth-guided pick that stole vs a round
+/// that fell back to randomized rotation (tie, or the pick raced empty).
+void noteStealDepthHit() noexcept;
+void noteStealFallback() noexcept;
 
 }  // namespace detail
 
@@ -118,30 +140,47 @@ class DrainGroup {
   }
 
   /// Steal one ready completion from any enrolled sibling other than
-  /// `self` (which may be null for an anonymous stealer). Victims are
-  /// probed in randomized rotation order so concurrent stealers spread
-  /// instead of hammering one queue. The stolen completion leaves the
-  /// victim's outstanding count exactly like an owner pop (releasing its
-  /// blocked consumers when it was the last one). Never blocks; the caller
-  /// folds `out.join` into its own clock.
+  /// `self` (which may be null for an anonymous stealer). In static tuning
+  /// mode victims are probed in randomized rotation order so concurrent
+  /// stealers spread instead of hammering one queue. In adaptive mode
+  /// (setTuningAdaptive) the steal is load-aware: two distinct victims are
+  /// sampled and the one with the deeper published ready depth is tried
+  /// first (power-of-two-choices; outstanding watches break ties), falling
+  /// back to the randomized rotation when the depths tie or the pick raced
+  /// empty -- so stealers drain the deepest backlog first. The stolen
+  /// completion leaves the victim's outstanding count exactly like an
+  /// owner pop (releasing its blocked consumers when it was the last one).
+  /// Never blocks; the caller folds `out.join` into its own clock.
   bool stealReady(const detail::CqShared* self, detail::ReadyCompletion& out) {
     auto& victims = siblingScratch();
     snapshotSiblings(self, victims);
     bool stolen = false;
     if (!victims.empty()) {
-      const std::size_t start = stealRng().nextBelow(victims.size());
-      for (std::size_t i = 0; i < victims.size(); ++i) {
-        detail::CqShared& victim = *victims[(start + i) % victims.size()];
-        std::unique_lock<std::mutex> g(victim.lock);
-        if (victim.ready.empty()) continue;
-        out = victim.ready.front();
-        victim.ready.pop_front();
-        const bool drained_out = --victim.outstanding == 0;
-        g.unlock();
-        if (drained_out) victim.cv.notify_all();
-        detail::noteCqStolen();
-        stolen = true;
-        break;
+      const std::size_t n = victims.size();
+      const std::size_t start = stealRng().nextBelow(n);
+      if (tuning_adaptive_.load(std::memory_order_relaxed) && n >= 2) {
+        // Two choices: `start` plus one other distinct victim.
+        std::size_t other = stealRng().nextBelow(n - 1);
+        if (other >= start) ++other;
+        const std::size_t pick = deeperOf(victims, start, other);
+        if (pick != n) {
+          if (tryStealFrom(*victims[pick], out)) {
+            detail::noteStealDepthHit();
+            stolen = true;
+          } else {
+            detail::noteStealFallback();  // pick raced empty: rotate
+          }
+        } else {
+          detail::noteStealFallback();  // tie: rotate
+        }
+      }
+      if (!stolen) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (tryStealFrom(*victims[(start + i) % n], out)) {
+            stolen = true;
+            break;
+          }
+        }
       }
     }
     victims.clear();
@@ -266,6 +305,18 @@ class DrainGroup {
     return deferred_cap_;
   }
 
+  /// Switch steal-victim selection between randomized rotation (false, the
+  /// pre-tuner behavior, bit-for-bit) and the load-aware two-choice pick
+  /// (true). Wired by the Runtime from RuntimeConfig::tuning_mode, like
+  /// setDeferredCap.
+  void setTuningAdaptive(bool adaptive) noexcept {
+    tuning_adaptive_.store(adaptive, std::memory_order_relaxed);
+  }
+
+  bool tuningAdaptive() const noexcept {
+    return tuning_adaptive_.load(std::memory_order_relaxed);
+  }
+
   /// True once the queue is at half the cap or beyond: producers start
   /// throttling early enough that batches already in flight land under the
   /// cap itself.
@@ -285,6 +336,49 @@ class DrainGroup {
   }
 
  private:
+  /// Pop the head of `victim` if it has anything ready, mirroring the pop
+  /// into the published telemetry. Exactly the owner-pop/steal protocol:
+  /// the completion leaves the outstanding count, and the last one out
+  /// releases blocked consumers.
+  static bool tryStealFrom(detail::CqShared& victim,
+                           detail::ReadyCompletion& out) {
+    std::unique_lock<std::mutex> g(victim.lock);
+    if (victim.ready.empty()) return false;
+    out = victim.ready.front();
+    victim.ready.pop_front();
+    victim.ready_depth.store(static_cast<std::uint32_t>(victim.ready.size()),
+                             std::memory_order_relaxed);
+    const bool drained_out = --victim.outstanding == 0;
+    victim.outstanding_hint.store(
+        static_cast<std::uint32_t>(victim.outstanding),
+        std::memory_order_relaxed);
+    g.unlock();
+    if (drained_out) victim.cv.notify_all();
+    detail::noteCqStolen();
+    return true;
+  }
+
+  /// Index of the two-choice victim with the deeper published ready depth
+  /// (outstanding watches break ties); `victims.size()` when both scores
+  /// tie -- the caller's randomized rotation takes over.
+  static std::size_t deeperOf(
+      const std::vector<std::shared_ptr<detail::CqShared>>& victims,
+      std::size_t a, std::size_t b) {
+    const std::uint32_t da =
+        victims[a]->ready_depth.load(std::memory_order_relaxed);
+    const std::uint32_t db =
+        victims[b]->ready_depth.load(std::memory_order_relaxed);
+    if (da != db) return da > db ? a : b;
+    if (da != 0) {
+      const std::uint32_t oa =
+          victims[a]->outstanding_hint.load(std::memory_order_relaxed);
+      const std::uint32_t ob =
+          victims[b]->outstanding_hint.load(std::memory_order_relaxed);
+      if (oa != ob) return oa > ob ? a : b;
+    }
+    return victims.size();
+  }
+
   static Xoshiro256& stealRng() {
     thread_local Xoshiro256 rng(
         0x9e3779b97f4a7c15ULL ^
@@ -325,6 +419,7 @@ class DrainGroup {
   std::vector<std::weak_ptr<detail::CqShared>> queues_;
   std::deque<std::function<void()>> deferred_;
   std::size_t deferred_cap_ = 0;
+  std::atomic<bool> tuning_adaptive_{false};
   std::function<void()> wake_hook_;
 };
 

@@ -233,7 +233,12 @@ TEST_F(CommAsyncTest, CompletionQueueDrainsInFifoCompletionOrder) {
 }
 
 TEST_F(CommAsyncTest, StealAndContinuationCountersSnapshotAndReset) {
-  startRuntime(2);
+  // Runs under the adaptive tuner regardless of the suite-wide PGASNB_TUNING
+  // leg: the test drives tuner decisions and asserts their counters/gauges
+  // round-trip through snapshot and reset with everything else.
+  RuntimeConfig cfg = testing::testConfig(2);
+  cfg.tuning_mode = TuningMode::adaptive;
+  runtime_ = std::make_unique<Runtime>(cfg);
   // One pairwise steal: everything lands in `other`, so nextFrom must take
   // it from there.
   comm::CompletionQueue mine;
@@ -249,14 +254,32 @@ TEST_F(CommAsyncTest, StealAndContinuationCountersSnapshotAndReset) {
       .then([&ran] { ran.fetch_add(1); }, comm::ExecPolicy::worker)
       .wait();
   EXPECT_EQ(ran.load(), 1);
+  // One tuner decision: sparse aggregated production (1 ms gaps) forces a
+  // batch resize, which also publishes the effective-batch gauge.
+  comm::Aggregator& agg = comm::taskAggregator();
+  std::uint64_t t = sim::now();
+  for (int i = 0; i < 16; ++i) {
+    t += 1'000'000;
+    sim::setNow(t);
+    agg.enqueue(1, [] {});
+  }
+  agg.flushAll();
   const comm::Counters snap = comm::counters();
   EXPECT_EQ(snap.cq_stolen, 1u);
   EXPECT_GE(snap.continuations_stolen, 1u);
+  EXPECT_GE(snap.tuner_batch_resizes, 1u);
+  EXPECT_EQ(snap.tuner_effective_batch, agg.opsPerBatch());
   comm::resetCounters();
   const comm::Counters zeroed = comm::counters();
   EXPECT_EQ(zeroed.cq_stolen, 0u);
   EXPECT_EQ(zeroed.continuations_stolen, 0u);
   EXPECT_EQ(zeroed.cq_drained, 0u);
+  EXPECT_EQ(zeroed.tuner_batch_resizes, 0u);
+  EXPECT_EQ(zeroed.tuner_slice_adjusts, 0u);
+  EXPECT_EQ(zeroed.steal_depth_hits, 0u);
+  EXPECT_EQ(zeroed.steal_random_fallbacks, 0u);
+  EXPECT_EQ(zeroed.tuner_effective_batch, 0u);
+  EXPECT_EQ(zeroed.tuner_park_slice_us, 0u);
 }
 
 TEST_F(CommAsyncTest, CompletionQueueWatchAfterCompletionStillDelivers) {
